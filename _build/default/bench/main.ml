@@ -1,0 +1,232 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Reproductions — regenerate every table and figure of the paper
+      (the rows/series the paper reports), via the experiment registry.
+      One section per artifact: table1..table4, fig3..fig5, plus the
+      supporting curves/ablation/baselines/scaling experiments.
+
+   2. Timing — Bechamel micro/meso benchmarks, one Test.make per paper
+      artifact (how long regenerating each costs) plus kernel benches
+      (RV sigma evaluation, window sweep, DP knapsack) across sizes.
+
+   Run everything:        dune exec bench/main.exe
+   Reproductions only:    dune exec bench/main.exe -- tables
+   Timing only:           dune exec bench/main.exe -- timing
+   One experiment:        dune exec bench/main.exe -- table3 *)
+
+open Bechamel
+open Toolkit
+
+(* --- half 1: reproductions --- *)
+
+let run_reproductions names =
+  let selected =
+    match names with
+    | [] -> Batsched_experiments.Registry.all
+    | _ ->
+        List.filter_map Batsched_experiments.Registry.find names
+  in
+  List.iter
+    (fun (e : Batsched_experiments.Registry.experiment) ->
+      Printf.printf "=== %s: %s ===\n%s\n%!" e.name e.title (e.run ()))
+    selected
+
+(* --- half 2: bechamel timing --- *)
+
+let model = Batsched_battery.Rakhmatov.model ()
+
+let g3_profile =
+  let g = Batsched_taskgraph.Instances.g3 in
+  let cfg = Batsched.Config.make ~deadline:230.0 () in
+  let r = Batsched.Iterate.run cfg g in
+  Batsched_sched.Schedule.to_profile g r.Batsched.Iterate.schedule
+
+let fork_join n_widths =
+  let rng = Batsched_numeric.Rng.create 42 in
+  Batsched_taskgraph.Generators.fork_join ~rng
+    ~spec:Batsched_taskgraph.Generators.default_spec ~widths:n_widths
+
+let bench_kernels =
+  [ Test.make ~name:"rv-sigma/g3-schedule"
+      (Staged.stage (fun () ->
+           ignore (Batsched_battery.Model.sigma_end model g3_profile)));
+    Test.make ~name:"kibam-sigma/g3-schedule"
+      (Staged.stage (fun () ->
+           ignore
+             (Batsched_battery.Model.sigma_end
+                (Batsched_battery.Kibam.model ())
+                g3_profile)));
+    (let params =
+       Batsched_battery.Diffusion.make_params ~nodes:32 ~dt:0.1 ~alpha:40375.0
+         ~beta:0.273 ()
+     in
+     let pulse =
+       Batsched_battery.Profile.constant ~current:800.0 ~duration:20.0
+     in
+     Test.make ~name:"pde-sigma/20min-pulse"
+       (Staged.stage (fun () ->
+            ignore (Batsched_battery.Diffusion.sigma ~params pulse ~at:20.0))));
+    (let g = Batsched_taskgraph.Instances.g3 in
+     let pes = Batsched_multiproc.Mschedule.Pe.uniform 2 in
+     Test.make ~name:"multiproc/battery-aware-2pe"
+       (Staged.stage (fun () ->
+            ignore
+              (Batsched_multiproc.Mheuristics.battery_aware ~model g ~pes
+                 ~deadline:150.0))));
+    Test.make ~name:"rv-kernel/10-terms"
+      (Staged.stage (fun () ->
+           ignore (Batsched_numeric.Series.kernel ~beta:0.273 5.0 25.0)));
+    (let g = Batsched_taskgraph.Instances.g3 in
+     Test.make ~name:"dp-knapsack/g3-d230"
+       (Staged.stage (fun () ->
+            ignore
+              (Batsched_baselines.Dp_energy.select_design_points g
+                 ~deadline:230.0))));
+    (let g = Batsched_taskgraph.Instances.g3 in
+     let cfg = Batsched.Config.make ~deadline:230.0 () in
+     let seq = Batsched_sched.Priorities.sequence_dec_energy g in
+     Test.make ~name:"choose-dp/g3-window0"
+       (Staged.stage (fun () ->
+            ignore
+              (Batsched.Choose.choose_design_points cfg g ~sequence:seq
+                 ~window_start:0)))) ]
+
+(* one Test.make per paper artifact: the cost of regenerating it *)
+let bench_artifacts =
+  [ (let g = Batsched_taskgraph.Instances.g3 in
+     Test.make ~name:"table2+3/iterate-g3"
+       (Staged.stage (fun () ->
+            let cfg = Batsched.Config.make ~deadline:230.0 () in
+            ignore (Batsched.Iterate.run cfg g))));
+    (let g = Batsched_taskgraph.Instances.g2 in
+     Test.make ~name:"table4/g2-three-deadlines"
+       (Staged.stage (fun () ->
+            List.iter
+              (fun deadline ->
+                let cfg = Batsched.Config.make ~deadline () in
+                ignore (Batsched.Iterate.run cfg g);
+                ignore (Batsched_baselines.Dp_energy.run ~model g ~deadline))
+              Batsched_taskgraph.Instances.g2_deadlines)));
+    Test.make ~name:"fig5/g2-dot"
+      (Staged.stage (fun () ->
+           ignore
+             (Batsched_taskgraph.Textio.to_dot Batsched_taskgraph.Instances.g2)));
+    Test.make ~name:"curves/rate-capacity"
+      (Staged.stage (fun () ->
+           ignore
+             (Batsched_battery.Curves.rate_capacity
+                ~cell:Batsched_battery.Cell.itsy
+                ~currents:[ 100.0; 400.0; 1600.0 ])));
+    Test.make ~name:"table1/instance-echo"
+      (Staged.stage (fun () ->
+           ignore
+             (Batsched_taskgraph.Textio.to_string
+                Batsched_taskgraph.Instances.g3)));
+    Test.make ~name:"fig3/window-masks"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun ws ->
+               ignore
+                 (Batsched.Window.mask Batsched_taskgraph.Instances.g2
+                    ~window_start:ws))
+             [ 0; 1; 2 ]));
+    (let g =
+       let t id =
+         Batsched_taskgraph.Task.of_pairs ~id
+           ~name:(Printf.sprintf "T%d" (id + 1))
+           [ (800.0, 2.0); (400.0, 4.0); (200.0, 6.0); (100.0, 8.0) ]
+       in
+       Batsched_taskgraph.Graph.make ~label:"fig4" ~edges:[] (List.init 5 t)
+     in
+     let a = Batsched_sched.Assignment.of_list g [ 1; 3; 1; 0; 3 ] in
+     Test.make ~name:"fig4/dpf-worked-example"
+       (Staged.stage (fun () ->
+            ignore
+              (Batsched_sched.Metrics.dpf_static g a ~free:[ 0; 1 ]
+                 ~window_start:0))));
+    (let g = Batsched_taskgraph.Instances.g2 in
+     Test.make ~name:"ablation/one-knockout-g2"
+       (Staged.stage (fun () ->
+            let weights =
+              { Batsched.Config.paper_weights with Batsched.Config.dpf = 0.0 }
+            in
+            let cfg = Batsched.Config.make ~weights ~deadline:75.0 () in
+            ignore (Batsched.Iterate.run cfg g))));
+    (let g = Batsched_taskgraph.Instances.g3 in
+     Test.make ~name:"mechanisms/full-window-only-g3"
+       (Staged.stage (fun () ->
+            let cfg =
+              Batsched.Config.make ~full_window_only:true ~deadline:230.0 ()
+            in
+            ignore (Batsched.Iterate.run cfg g))));
+    (let g = Batsched_taskgraph.Instances.g3 in
+     Test.make ~name:"beta/one-point"
+       (Staged.stage (fun () ->
+            let model = Batsched_battery.Rakhmatov.model ~beta:0.7 () in
+            let cfg = Batsched.Config.make ~model ~deadline:230.0 () in
+            ignore (Batsched.Iterate.run cfg g))));
+    (let cycle = Batsched_battery.Profile.constant ~current:800.0 ~duration:20.0 in
+     Test.make ~name:"endurance/cycles-to-death"
+       (Staged.stage (fun () ->
+            ignore
+              (Batsched_battery.Periodic.cycles_to_death ~max_cycles:20 ~model
+                 ~alpha:65000.0 ~period:40.0 cycle)))) ]
+
+let bench_scaling =
+  List.map
+    (fun (label, widths) ->
+      let g = fork_join widths in
+      let deadline =
+        Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+      in
+      let cfg = Batsched.Config.make ~deadline () in
+      Test.make ~name:("scaling/iterate-" ^ label)
+        (Staged.stage (fun () -> ignore (Batsched.Iterate.run cfg g))))
+    [ ("n8", [ 3; 2 ]); ("n16", [ 5; 4; 4 ]); ("n26", [ 6; 6; 6; 4 ]) ]
+
+let run_timing () =
+  let tests = bench_kernels @ bench_artifacts @ bench_scaling in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  (* analyze with ordinary least squares against run count *)
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let grouped = Test.make_grouped ~name:"batsched" tests in
+  let results = Benchmark.all cfg instances grouped in
+  let analysis = Analyze.all ols Instance.monotonic_clock results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> e
+        | _ -> Float.nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> r
+        | None -> Float.nan
+      in
+      rows := (name, estimate, r2) :: !rows)
+    analysis;
+  Printf.printf "%-40s %14s %8s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, estimate, r2) ->
+      Printf.printf "%-40s %14.1f %8.4f\n%!" name estimate r2)
+    (List.sort compare !rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      run_reproductions [];
+      print_newline ();
+      run_timing ()
+  | [ "tables" ] -> run_reproductions []
+  | [ "timing" ] -> run_timing ()
+  | names -> run_reproductions names

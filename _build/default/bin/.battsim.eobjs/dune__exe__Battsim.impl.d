@@ -1,0 +1,1 @@
+bin/battsim.ml: Arg Batsched_battery Batsched_numeric Cell Cmd Cmdliner Curves Diffusion Format Ideal Kibam Lifetime List Model Periodic Peukert Printf Profile Rakhmatov String Term

@@ -1,0 +1,1 @@
+bin/repro.ml: Arg Batsched_experiments Cmd Cmdliner Filename List Printf Sys Term

@@ -1,0 +1,1 @@
+bin/tgen.ml: Analysis Arg Batsched_numeric Batsched_taskgraph Cmd Cmdliner Generators Graph List Printf Stdlib String Term Textio

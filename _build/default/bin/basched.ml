@@ -1,0 +1,184 @@
+(* basched: battery-aware scheduling of a task-graph file.
+
+   Usage: basched FILE --deadline D [--algo iterative|dp-energy|chowdhury|
+          annealing|random] [--beta B] [--seed N] [--trace] [--dot OUT] *)
+
+open Cmdliner
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_baselines
+
+let report ?(chart = false) g (sol : Solution.t) =
+  Format.printf "schedule: %a@." (Schedule.pp g) sol.Solution.schedule;
+  Printf.printf "finish:   %.2f min\n" sol.Solution.finish;
+  Printf.printf "sigma:    %.1f mA*min\n" sol.Solution.sigma;
+  if chart then begin
+    print_newline ();
+    print_string (Render.gantt g sol.Solution.schedule);
+    print_newline ();
+    print_string (Render.profile_chart (Schedule.to_profile g sol.Solution.schedule))
+  end
+
+let trace_iterations g (result : Batsched.Iterate.result) =
+  List.iter
+    (fun (it : Batsched.Iterate.iteration) ->
+      Printf.printf "iteration %d: min sigma %.1f\n" it.index it.min_sigma;
+      List.iter
+        (fun (w : Batsched.Window.window_result) ->
+          Printf.printf "  window %d:%d  sigma %.1f  Delta %.2f\n"
+            (w.window_start + 1) (Graph.num_points g) w.sigma w.finish)
+        it.windows.Batsched.Window.per_window)
+    result.iterations
+
+(* Auto-detect the on-disk format: TGFF-dialect files start their first
+   significant line with '@'; otherwise the native textio format. *)
+let load_graph path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let is_tgff =
+    String.split_on_char '\n' text
+    |> List.exists (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '#' && l.[0] = '@')
+  in
+  if is_tgff then
+    let doc = Tgff.of_string text in
+    (doc.Tgff.graph, doc.Tgff.deadline)
+  else (Textio.of_string text, None)
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Batsched.Iterate.log_src (Some Logs.Debug)
+  end
+
+let run_file path deadline algo beta seed trace chart polish verbose dot_out =
+  setup_logs verbose;
+  match
+    (try Ok (load_graph path) with
+    | Textio.Parse_error { line; message }
+    | Tgff.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" path line message)
+    | Sys_error msg -> Error msg)
+  with
+  | Error msg -> Error msg
+  | Ok (g, embedded_deadline) -> (
+      (match dot_out with
+      | Some out ->
+          let oc = open_out out in
+          output_string oc (Textio.to_dot g);
+          close_out oc
+      | None -> ());
+      let model = Batsched_battery.Rakhmatov.model ~beta () in
+      let rng = Batsched_numeric.Rng.create seed in
+      Printf.printf "graph %s: %d tasks, %d design points, %d edges\n%!"
+        (Graph.label g) (Graph.num_tasks g) (Graph.num_points g)
+        (Graph.num_edges g);
+      match
+        match (deadline, embedded_deadline) with
+        | Some d, _ -> Ok d
+        | None, Some d ->
+            Printf.printf "deadline %.2f min (from the file)\n" d;
+            Ok d
+        | None, None ->
+            Error "no deadline: pass --deadline (the file embeds none)"
+      with
+      | Error msg -> Error msg
+      | Ok deadline -> (
+      try
+        (match algo with
+        | "iterative" | "iterative-ms" ->
+            let cfg = Batsched.Config.make ~model ~deadline () in
+            let result =
+              if algo = "iterative-ms" then
+                Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g
+              else Batsched.Iterate.run cfg g
+            in
+            if trace then trace_iterations g result;
+            let result =
+              if polish then Batsched.Polish.polish cfg g result else result
+            in
+            report ~chart g
+              (Solution.of_schedule ~model g result.Batsched.Iterate.schedule)
+        | "branch-bound" ->
+            let outcome = Branch_bound.run ~model g ~deadline in
+            if not outcome.Branch_bound.optimal then
+              Printf.printf "(node budget hit: result may be suboptimal)\n";
+            report ~chart g outcome.Branch_bound.solution
+        | "dp-energy" -> report ~chart g (Dp_energy.run ~model g ~deadline)
+        | "chowdhury" -> report ~chart g (Chowdhury.run ~model g ~deadline)
+        | "annealing" -> report ~chart g (Annealing.run ~rng ~model g ~deadline)
+        | "random" -> report ~chart g (Random_search.run ~rng ~model g ~deadline)
+        | a -> failwith ("unknown algorithm: " ^ a));
+        Ok ()
+      with
+      | Batsched.Config.Deadline_unmeetable | Dp_energy.Infeasible
+      | Chowdhury.Infeasible | Annealing.No_feasible_state
+      | Branch_bound.Infeasible | Random_search.No_feasible_sample ->
+          Error
+            (Printf.sprintf
+               "deadline %.2f min cannot be met (all-fastest serial time %.2f)"
+               deadline (fst (Analysis.serial_time_bounds g)))
+      | Failure msg -> Error msg))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Task-graph file (see lib/taskgraph/textio.mli for the format).")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "d"; "deadline" ] ~docv:"MIN"
+           ~doc:"Deadline in minutes (defaults to a TGFF HARD_DEADLINE).")
+
+let algo_arg =
+  Arg.(value & opt string "iterative"
+       & info [ "a"; "algo" ] ~docv:"ALGO"
+           ~doc:"One of iterative, iterative-ms, dp-energy, chowdhury, \
+                 annealing, branch-bound, random.")
+
+let beta_arg =
+  Arg.(value & opt float Batsched_battery.Rakhmatov.default_beta
+       & info [ "beta" ] ~docv:"B" ~doc:"Battery diffusion parameter.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print per-iteration details.")
+
+let chart_arg =
+  Arg.(value & flag
+       & info [ "chart" ] ~doc:"Draw an ASCII Gantt strip and current chart.")
+
+let polish_arg =
+  Arg.(value & flag
+       & info [ "polish" ]
+           ~doc:"Apply adjacent-swap local search after the iterative run.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Log per-iteration progress (debug).")
+
+let dot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dot" ] ~docv:"OUT" ~doc:"Also write a Graphviz rendering.")
+
+let cmd =
+  let doc = "battery-aware task sequencing and design-point assignment" in
+  let term =
+    Term.(
+      const (fun file deadline algo beta seed trace chart polish verbose dot ->
+          match
+            run_file file deadline algo beta seed trace chart polish verbose
+              dot
+          with
+          | Ok () -> `Ok ()
+          | Error msg -> `Error (false, msg))
+      $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg $ trace_arg
+      $ chart_arg $ polish_arg $ verbose_arg $ dot_arg)
+  in
+  Cmd.v (Cmd.info "basched" ~doc) (Term.ret term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,183 @@
+(* battsim: explore the battery models.
+
+   Subcommands:
+     lifetime  --current I [--alpha A] [--beta B] [--model rakhmatov|peukert|ideal]
+     sigma     --load I:D [--load I:D ...] [--beta B] [--idle GAP]
+     curve     --current I [--beta B] [--points N]  (sigma vs T table) *)
+
+open Cmdliner
+open Batsched_battery
+
+let model_of name beta =
+  match name with
+  | "rakhmatov" -> Ok (Rakhmatov.model ~beta ())
+  | "peukert" -> Ok (Peukert.model ())
+  | "kibam" -> Ok (Kibam.model ())
+  | "pde" ->
+      Ok
+        (Diffusion.model
+           ~params:
+             (Diffusion.make_params ~alpha:Cell.itsy.Cell.alpha ~beta ())
+           ())
+  | "ideal" -> Ok Ideal.model
+  | m -> Error ("unknown model: " ^ m)
+
+let beta_arg =
+  Arg.(value & opt float Rakhmatov.default_beta
+       & info [ "beta" ] ~docv:"B" ~doc:"RV diffusion parameter.")
+
+let alpha_arg =
+  Arg.(value & opt float Cell.itsy.Cell.alpha
+       & info [ "alpha" ] ~docv:"A" ~doc:"Capacity parameter, mA*min.")
+
+let model_arg =
+  Arg.(value & opt string "rakhmatov"
+       & info [ "model" ] ~docv:"M"
+           ~doc:"rakhmatov, kibam, peukert, pde or ideal.")
+
+(* lifetime *)
+let lifetime current alpha beta model_name =
+  match model_of model_name beta with
+  | Error msg -> `Error (false, msg)
+  | Ok model ->
+      if current <= 0.0 then `Error (false, "current must be positive")
+      else begin
+        let t = Lifetime.of_constant_current ~model ~alpha ~current in
+        Printf.printf
+          "model %s, alpha %.0f mA*min, constant %.1f mA -> lifetime %.2f min \
+           (%.2f h), delivered %.0f mA*min (%.1f%% of alpha)\n"
+          model_name alpha current t (t /. 60.0) (current *. t)
+          (100.0 *. current *. t /. alpha);
+        `Ok ()
+      end
+
+let current_arg =
+  Arg.(required & opt (some float) None
+       & info [ "current" ] ~docv:"MA" ~doc:"Constant load, mA.")
+
+let lifetime_cmd =
+  Cmd.v (Cmd.info "lifetime" ~doc:"lifetime under a constant load")
+    Term.(ret (const lifetime $ current_arg $ alpha_arg $ beta_arg $ model_arg))
+
+(* sigma *)
+let parse_load s =
+  match String.split_on_char ':' s with
+  | [ i; d ] -> (
+      try Ok (float_of_string i, float_of_string d)
+      with Failure _ -> Error ("bad load: " ^ s))
+  | _ -> Error ("bad load (want I:D): " ^ s)
+
+let sigma loads beta idle model_name =
+  match model_of model_name beta with
+  | Error msg -> `Error (false, msg)
+  | Ok model -> (
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+            match parse_load s with
+            | Ok l -> parse (l :: acc) rest
+            | Error e -> Error e)
+      in
+      match parse [] loads with
+      | Error msg -> `Error (false, msg)
+      | Ok [] -> `Error (false, "need at least one --load I:D")
+      | Ok pairs ->
+          let base = Profile.sequential pairs in
+          let profile =
+            if idle > 0.0 then
+              (* open a recovery gap before the last interval *)
+              match List.rev (Profile.intervals base) with
+              | last :: _ ->
+                  Profile.with_idle base ~after:last.Profile.start ~idle
+              | [] -> base
+            else base
+          in
+          Format.printf "%a" Profile.pp profile;
+          Printf.printf "total charge: %.1f mA*min\nsigma at end: %.1f mA*min\n"
+            (Profile.total_charge profile)
+            (Model.sigma_end model profile);
+          `Ok ())
+
+let loads_arg =
+  Arg.(value & opt_all string []
+       & info [ "load" ] ~docv:"I:D" ~doc:"A load interval: current:duration.")
+
+let idle_arg =
+  Arg.(value & opt float 0.0
+       & info [ "idle" ] ~docv:"MIN"
+           ~doc:"Insert an idle gap before the last interval.")
+
+let sigma_cmd =
+  Cmd.v (Cmd.info "sigma" ~doc:"apparent charge lost by a load profile")
+    Term.(ret (const sigma $ loads_arg $ beta_arg $ idle_arg $ model_arg))
+
+(* curve *)
+let curve current beta points model_name =
+  match model_of model_name beta with
+  | Error msg -> `Error (false, msg)
+  | Ok model ->
+      if current <= 0.0 then `Error (false, "current must be positive")
+      else if points < 2 then `Error (false, "need at least 2 points")
+      else begin
+        let alpha = Cell.itsy.Cell.alpha in
+        let horizon = Lifetime.of_constant_current ~model ~alpha ~current in
+        let p = Profile.constant ~current ~duration:horizon in
+        let curve = Curves.sigma_curve ~model p ~n:points in
+        Printf.printf "# T(min)  sigma(mA*min)\n";
+        List.iter
+          (fun (t, s) -> Printf.printf "%10.2f  %12.1f\n" t s)
+          (Batsched_numeric.Interp.points curve);
+        `Ok ()
+      end
+
+let points_arg =
+  Arg.(value & opt int 25 & info [ "points" ] ~docv:"N" ~doc:"Sample count.")
+
+let curve_cmd =
+  Cmd.v (Cmd.info "curve" ~doc:"tabulate sigma(T) up to exhaustion")
+    Term.(ret (const curve $ current_arg $ beta_arg $ points_arg $ model_arg))
+
+(* cycles: periodic-mission endurance *)
+let cycles current burst period alpha beta model_name =
+  match model_of model_name beta with
+  | Error msg -> `Error (false, msg)
+  | Ok model ->
+      if current <= 0.0 || burst <= 0.0 then
+        `Error (false, "current and burst must be positive")
+      else if period < burst then
+        `Error (false, "period must cover the burst")
+      else begin
+        let cycle = Profile.constant ~current ~duration:burst in
+        (match
+           Periodic.cycles_to_death ~model ~alpha ~period cycle
+         with
+        | n ->
+            Printf.printf
+              "%.0f mA for %.1f min every %.1f min: %d complete cycles \
+               (ideal ceiling %.1f)\n"
+              current burst period n
+              (alpha /. (current *. burst))
+        | exception Periodic.Unsustainable ->
+            Printf.printf "the first cycle already exhausts the battery\n");
+        `Ok ()
+      end
+
+let burst_arg =
+  Arg.(value & opt float 20.0 & info [ "burst" ] ~docv:"MIN" ~doc:"Burst length.")
+
+let period_arg =
+  Arg.(value & opt float 60.0 & info [ "period" ] ~docv:"MIN" ~doc:"Cycle period.")
+
+let cycles_cmd =
+  Cmd.v (Cmd.info "cycles" ~doc:"periodic-mission endurance")
+    Term.(
+      ret
+        (const cycles $ current_arg $ burst_arg $ period_arg $ alpha_arg
+         $ beta_arg $ model_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "battsim" ~doc:"battery model explorer")
+    [ lifetime_cmd; sigma_cmd; curve_cmd; cycles_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,77 @@
+(* repro: regenerate the paper's tables and figures.
+
+   Usage: repro [EXPERIMENT ...] [--list] [-o DIR]
+   With no arguments every experiment runs in DESIGN.md order; with
+   [-o DIR] each report is also written to DIR/<name>.txt. *)
+
+open Cmdliner
+
+let run_experiments names list_only out_dir =
+  if list_only then begin
+    List.iter
+      (fun (e : Batsched_experiments.Registry.experiment) ->
+        Printf.printf "%-10s %s\n" e.name e.title)
+      Batsched_experiments.Registry.all;
+    Ok ()
+  end
+  else begin
+    let selected =
+      match names with
+      | [] -> Ok Batsched_experiments.Registry.all
+      | _ ->
+          let rec resolve acc = function
+            | [] -> Ok (List.rev acc)
+            | n :: rest -> (
+                match Batsched_experiments.Registry.find n with
+                | Some e -> resolve (e :: acc) rest
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown experiment %S (try --list)" n))
+          in
+          resolve [] names
+    in
+    match selected with
+    | Error msg -> Error msg
+    | Ok experiments ->
+        (match out_dir with
+        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+        | _ -> ());
+        List.iter
+          (fun (e : Batsched_experiments.Registry.experiment) ->
+            let report = e.run () in
+            Printf.printf "=== %s: %s ===\n%s\n%!" e.name e.title report;
+            match out_dir with
+            | Some dir ->
+                let oc = open_out (Filename.concat dir (e.name ^ ".txt")) in
+                output_string oc report;
+                close_out oc
+            | None -> ())
+          experiments;
+        Ok ()
+  end
+
+let names_arg =
+  let doc = "Experiment ids to run (default: all)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_arg =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let out_arg =
+  let doc = "Also write each report to $(docv)/<name>.txt." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "regenerate the tables and figures of the DATE 2005 paper" in
+  let term =
+    Term.(
+      const (fun names list out ->
+          match run_experiments names list out with
+          | Ok () -> `Ok ()
+          | Error msg -> `Error (false, msg))
+      $ names_arg $ list_arg $ out_arg)
+  in
+  Cmd.v (Cmd.info "repro" ~doc) (Term.ret term)
+
+let () = exit (Cmd.eval cmd)

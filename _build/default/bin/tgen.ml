@@ -1,0 +1,81 @@
+(* tgen: generate synthetic task graphs in the textio format.
+
+   Usage: tgen --family fork-join|chain|layered|series-parallel|random
+               [--n N | --widths 4,3,4] [--points M] [--seed S] [-o OUT] *)
+
+open Cmdliner
+open Batsched_taskgraph
+
+let parse_widths s =
+  try Ok (List.map int_of_string (String.split_on_char ',' s))
+  with Failure _ -> Error ("bad widths: " ^ s)
+
+let generate family n widths points seed edge_prob out =
+  let rng = Batsched_numeric.Rng.create seed in
+  let spec = { Generators.default_spec with Generators.num_points = points } in
+  let graph =
+    match family with
+    | "chain" -> Ok (Generators.chain ~rng ~spec ~n)
+    | "fork-join" -> (
+        match parse_widths widths with
+        | Ok ws -> Ok (Generators.fork_join ~rng ~spec ~widths:ws)
+        | Error e -> Error e)
+    | "layered" ->
+        let width = Stdlib.max 1 (n / 4) in
+        let layers = Stdlib.max 1 ((n + width - 1) / width) in
+        Ok (Generators.layered ~rng ~spec ~layers ~width ~edge_prob)
+    | "series-parallel" -> Ok (Generators.series_parallel ~rng ~spec ~size:n)
+    | "random" -> Ok (Generators.random_dag ~rng ~spec ~n ~edge_prob)
+    | f -> Error ("unknown family: " ^ f)
+  in
+  match graph with
+  | Error msg -> `Error (false, msg)
+  | Ok g ->
+      let text = Textio.to_string g in
+      (match out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          let fastest, slowest = Analysis.serial_time_bounds g in
+          Printf.printf
+            "wrote %s: %d tasks, %d edges; feasible deadlines %.1f .. %.1f min\n"
+            path (Graph.num_tasks g) (Graph.num_edges g) fastest slowest
+      | None -> print_string text);
+      `Ok ()
+
+let family_arg =
+  Arg.(value & opt string "fork-join"
+       & info [ "family" ] ~docv:"F"
+           ~doc:"chain, fork-join, layered, series-parallel or random.")
+
+let n_arg =
+  Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"Approximate task count.")
+
+let widths_arg =
+  Arg.(value & opt string "4,3,4"
+       & info [ "widths" ] ~docv:"W,W,..." ~doc:"Fork-join stage widths.")
+
+let points_arg =
+  Arg.(value & opt int 5 & info [ "points" ] ~docv:"M" ~doc:"Design points per task.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+
+let edge_prob_arg =
+  Arg.(value & opt float 0.4
+       & info [ "edge-prob" ] ~docv:"P" ~doc:"Edge probability (layered/random).")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default stdout).")
+
+let cmd =
+  let doc = "generate synthetic task graphs" in
+  Cmd.v (Cmd.info "tgen" ~doc)
+    Term.(
+      ret
+        (const generate $ family_arg $ n_arg $ widths_arg $ points_arg
+         $ seed_arg $ edge_prob_arg $ out_arg))
+
+let () = exit (Cmd.eval cmd)

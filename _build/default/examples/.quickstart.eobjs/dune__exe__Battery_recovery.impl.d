@@ -1,0 +1,1 @@
+examples/battery_recovery.ml: Batsched_battery Cell Curves List Printf

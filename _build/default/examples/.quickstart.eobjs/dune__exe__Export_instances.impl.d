@@ -1,0 +1,1 @@
+examples/export_instances.ml: Batsched_taskgraph Filename Instances List Printf Sys Textio Tgff

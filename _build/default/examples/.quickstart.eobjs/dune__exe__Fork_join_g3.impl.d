@@ -1,0 +1,1 @@
+examples/fork_join_g3.ml: Batsched Batsched_sched Batsched_taskgraph Format Graph Instances List Printf

@@ -1,0 +1,1 @@
+examples/fork_join_g3.mli:

@@ -1,0 +1,1 @@
+examples/mission_planning.ml: Batsched Batsched_battery Batsched_sched Batsched_taskgraph Cell Float Graph Instances Lifetime List Printf Profile Task

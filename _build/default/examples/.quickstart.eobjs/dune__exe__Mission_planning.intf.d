@@ -1,0 +1,1 @@
+examples/mission_planning.mli:

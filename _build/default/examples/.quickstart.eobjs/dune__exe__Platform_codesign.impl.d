@@ -1,0 +1,1 @@
+examples/platform_codesign.ml: Analysis Application Array Batsched Batsched_battery Batsched_platform Batsched_sched Batsched_taskgraph Cpu Executor Format Graph List Printf Render Schedule Task

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Assignment Batsched Batsched_battery Batsched_sched Batsched_taskgraph Format Graph Printf Schedule Task

@@ -1,0 +1,1 @@
+examples/robotic_arm.mli:

@@ -1,0 +1,47 @@
+(* The two battery phenomena the scheduler exploits, demonstrated
+   directly on the Rakhmatov-Vrudhula substrate: the rate-capacity
+   effect, the recovery effect, and the decreasing-current ordering
+   rule.
+
+   Run with: dune exec examples/battery_recovery.exe *)
+
+open Batsched_battery
+
+let cell = Cell.itsy
+
+let () =
+  Printf.printf "cell %s: alpha = %.0f mA*min (%.0f mAh), beta = %.3f\n\n"
+    cell.Cell.label cell.Cell.alpha (Cell.rated_capacity_mah cell)
+    cell.Cell.beta;
+
+  (* Rate capacity: the same battery delivers less charge under heavier
+     constant load. *)
+  Printf.printf "rate-capacity effect:\n";
+  List.iter
+    (fun (p : Curves.rate_capacity_point) ->
+      Printf.printf "  %6.0f mA -> lifetime %8.1f min, delivered %6.0f mA*min \
+                     (%.0f%% of rated)\n"
+        p.current p.lifetime p.delivered (100.0 *. p.efficiency))
+    (Curves.rate_capacity ~cell ~currents:[ 100.0; 400.0; 1600.0 ]);
+
+  (* Recovery: idle time between bursts restores apparent capacity. *)
+  Printf.printf "\nrecovery effect (two 20-min 800-mA bursts):\n";
+  List.iter
+    (fun (p : Curves.recovery_point) ->
+      Printf.printf "  idle %5.1f min -> sigma %8.1f, recovered %7.1f mA*min\n"
+        p.idle p.sigma_end p.recovered)
+    (Curves.recovery ~cell ~current:800.0 ~burst:20.0
+       ~idles:[ 0.0; 5.0; 20.0; 60.0 ]);
+
+  (* Ordering: executing a fixed task set in decreasing-current order
+     costs the battery least (the theorem the heuristic leans on). *)
+  let tasks =
+    [ (900.0, 5.0); (600.0, 8.0); (300.0, 10.0); (120.0, 15.0); (50.0, 20.0) ]
+  in
+  let dec, inc = Curves.ordering_gap ~cell tasks in
+  Printf.printf
+    "\nordering rule on a 5-task set:\n  decreasing-current order: %.1f\n  \
+     increasing-current order: %.1f\n  penalty for the bad order: %.1f mA*min \
+     (%.1f%%)\n"
+    dec inc (inc -. dec)
+    (100.0 *. (inc -. dec) /. dec)

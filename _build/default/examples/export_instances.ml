@@ -1,0 +1,22 @@
+(* Export the paper's instances in both on-disk formats (the native
+   textio format and the TGFF dialect), demonstrating the I/O API.
+   The scheduler CLI auto-detects either format:
+
+     dune exec examples/export_instances.exe
+     dune exec bin/basched.exe -- examples/data/g3.tgff
+     dune exec bin/basched.exe -- examples/data/g2.btg --deadline 75 *)
+
+open Batsched_taskgraph
+
+let () =
+  let dir = "examples/data" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Textio.save (Filename.concat dir "g2.btg") Instances.g2;
+  Textio.save (Filename.concat dir "g3.btg") Instances.g3;
+  Tgff.save ~deadline:75.0 (Filename.concat dir "g2.tgff") Instances.g2;
+  Tgff.save ~deadline:Instances.g3_deadline
+    (Filename.concat dir "g3.tgff")
+    Instances.g3;
+  List.iter
+    (fun f -> Printf.printf "wrote %s\n" (Filename.concat dir f))
+    [ "g2.btg"; "g3.btg"; "g2.tgff"; "g3.tgff" ]

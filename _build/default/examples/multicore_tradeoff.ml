@@ -1,0 +1,42 @@
+(* How many cores does a battery want?
+
+   Parallel execution frees slack for slower, cooler design points, but
+   concurrent currents add and the rate-capacity effect punishes the
+   total draw.  This example sweeps core counts and a big.LITTLE mix on
+   the paper's G3 workload and reports where the battery optimum lands.
+
+   Run with: dune exec examples/multicore_tradeoff.exe *)
+
+open Batsched_taskgraph
+open Batsched_multiproc
+
+let model = Batsched_battery.Rakhmatov.model ()
+
+let g' = Instances.g3
+
+let describe label pes deadline =
+  match Mheuristics.battery_aware ~model g' ~pes ~deadline with
+  | exception Mheuristics.Infeasible ->
+      Printf.printf "  %-8s infeasible at d=%.0f\n" label deadline
+  | sched ->
+      Printf.printf
+        "  %-8s sigma %7.0f mA*min  makespan %6.1f  peak %6.0f mA\n" label
+        (Mschedule.battery_cost ~model g' sched)
+        (Mschedule.makespan g' sched)
+        (Mschedule.peak_total_current g' sched)
+
+let () =
+  Printf.printf "G3 (15 tasks) across platform configurations\n";
+  List.iter
+    (fun deadline ->
+      Printf.printf "\ndeadline %.0f min:\n" deadline;
+      describe "1 core" (Mschedule.Pe.uniform 1) deadline;
+      describe "2 cores" (Mschedule.Pe.uniform 2) deadline;
+      describe "3 cores" (Mschedule.Pe.uniform 3) deadline;
+      describe "1b+1L" (Mschedule.Pe.big_little ~big:1 ~little:1) deadline;
+      describe "1b+2L" (Mschedule.Pe.big_little ~big:1 ~little:2) deadline)
+    [ 100.0; 150.0; 230.0 ];
+  Printf.printf
+    "\ntakeaway: extra identical cores help only while the freed slack \
+     outweighs the superposed current; little cores (35%% current at 60%% \
+     speed) shift the optimum further because they cut the draw itself.\n"

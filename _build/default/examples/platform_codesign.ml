@@ -1,0 +1,53 @@
+(* Platform-level co-design: compile an application onto a CPU model,
+   schedule it battery-aware, execute it on the simulator, and see what
+   DVS switch overheads do to the prediction.
+
+   Run with: dune exec examples/platform_codesign.exe *)
+
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_platform
+
+let () =
+  let cpu = Cpu.strongarm in
+  let app = Application.video_pipeline in
+  let g = Application.compile ~label:"video" app ~cpu in
+  Printf.printf "application: %d tasks on %s (%d operating points)\n"
+    (Graph.num_tasks g) cpu.Cpu.name (Cpu.num_points cpu);
+  List.iter
+    (fun (t : Task.t) ->
+      Printf.printf "  %-12s %6.1f min at full speed, %6.1f at lowest\n"
+        t.Task.name (Task.fastest t).Task.duration
+        (Task.slowest t).Task.duration)
+    (Graph.tasks g);
+
+  let fastest, slowest = Analysis.serial_time_bounds g in
+  let deadline = fastest +. (0.6 *. (slowest -. fastest)) in
+  Printf.printf "\nserial bounds %.1f .. %.1f min; deadline %.1f\n" fastest
+    slowest deadline;
+
+  let cfg = Batsched.Config.make ~deadline () in
+  let result = Batsched.Iterate.run cfg g in
+  Format.printf "schedule: %a@." (Schedule.pp g) result.Batsched.Iterate.schedule;
+  Printf.printf "predicted sigma: %.0f mA*min\n\n" result.Batsched.Iterate.sigma;
+
+  print_string (Render.gantt g result.Batsched.Iterate.schedule);
+
+  (* execute with realistic switch costs *)
+  let costly =
+    Cpu.make ~name:"sa1100+ovh" ~i_base:cpu.Cpu.i_base
+      ~i_dynamic:cpu.Cpu.i_dynamic ~transition_latency:0.005
+      ~transition_charge:1.3
+      (Array.to_list cpu.Cpu.points)
+  in
+  let run = Executor.execute app ~cpu:costly ~schedule:result.Batsched.Iterate.schedule in
+  let model = Batsched_battery.Rakhmatov.model () in
+  Printf.printf
+    "\nexecuted with switch costs: %d transitions, +%.2f min, sigma %.0f \
+     mA*min (%.3f%% drift)\n"
+    run.Executor.transitions run.Executor.overhead_time
+    (Batsched_battery.Model.sigma_end model run.Executor.profile)
+    (100.0
+     *. (Batsched_battery.Model.sigma_end model run.Executor.profile
+         -. result.Batsched.Iterate.sigma)
+     /. result.Batsched.Iterate.sigma)

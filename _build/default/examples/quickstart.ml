@@ -1,0 +1,49 @@
+(* Quickstart: define a 4-task pipeline with three design points per
+   task, schedule it battery-aware, and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Batsched_taskgraph
+open Batsched_sched
+
+let () =
+  (* 1. Describe the application: a capture -> filter -> encode -> send
+     pipeline.  Each task has three (current mA, duration min)
+     implementation options, fastest first. *)
+  let task id name pairs = Task.of_pairs ~id ~name pairs in
+  let tasks =
+    [ task 0 "capture" [ (600.0, 2.0); (350.0, 3.0); (150.0, 5.0) ];
+      task 1 "filter" [ (800.0, 4.0); (450.0, 6.0); (200.0, 9.0) ];
+      task 2 "encode" [ (900.0, 3.0); (500.0, 5.0); (220.0, 8.0) ];
+      task 3 "send" [ (700.0, 1.0); (400.0, 1.5); (180.0, 2.5) ] ]
+  in
+  let g =
+    Graph.make ~label:"pipeline" ~edges:[ (0, 1); (1, 2); (2, 3) ] tasks
+  in
+
+  (* 2. Pick a deadline between the all-fastest and all-slowest serial
+     times, and run the iterative algorithm. *)
+  let fastest, slowest = Analysis.serial_time_bounds g in
+  Printf.printf "serial time bounds: %.1f .. %.1f min\n" fastest slowest;
+  let deadline = 18.0 in
+  let cfg = Batsched.Config.make ~deadline () in
+  let result = Batsched.Iterate.run cfg g in
+
+  (* 3. Inspect the schedule and its battery cost. *)
+  Format.printf "schedule: %a@."
+    (Schedule.pp g) result.Batsched.Iterate.schedule;
+  Printf.printf "finishes at %.2f min (deadline %.1f)\n"
+    result.Batsched.Iterate.finish deadline;
+  Printf.printf "battery capacity used: %.1f mA*min\n"
+    result.Batsched.Iterate.sigma;
+
+  (* 4. Compare with the naive all-fastest schedule. *)
+  let naive =
+    Schedule.make g
+      ~sequence:(Analysis.any_topological_order g)
+      ~assignment:(Assignment.all_fastest g)
+  in
+  let model = Batsched_battery.Rakhmatov.model () in
+  Printf.printf "all-fastest schedule would use: %.1f mA*min (%.1fx)\n"
+    (Schedule.battery_cost ~model g naive)
+    (Schedule.battery_cost ~model g naive /. result.Batsched.Iterate.sigma)

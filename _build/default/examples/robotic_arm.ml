@@ -1,0 +1,47 @@
+(* The paper's Sec. 5 case study: a robotic-arm controller (G2) on a
+   voltage-scalable processor, scheduled for three deadlines and
+   compared against every baseline in the repository.
+
+   Run with: dune exec examples/robotic_arm.exe *)
+
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_baselines
+
+let model = Batsched_battery.Rakhmatov.model ()
+
+let line deadline =
+  let g = Instances.g2 in
+  let cfg = Batsched.Config.make ~deadline () in
+  let ours = Batsched.Iterate.run cfg g in
+  let dp = Dp_energy.run ~model g ~deadline in
+  let ch = Chowdhury.run ~model g ~deadline in
+  let rng = Batsched_numeric.Rng.create 2005 in
+  let sa = Annealing.run ~rng ~model g ~deadline in
+  Printf.printf
+    "deadline %3.0f min | iterative %8.0f | dp-energy %8.0f | chowdhury %8.0f \
+     | annealing %8.0f mA*min\n"
+    deadline ours.Batsched.Iterate.sigma dp.Solution.sigma ch.Solution.sigma
+    sa.Solution.sigma;
+  Format.printf "  best schedule: %a@." (Schedule.pp g)
+    ours.Batsched.Iterate.schedule
+
+let () =
+  let g = Instances.g2 in
+  Printf.printf "G2 robotic-arm controller: %d tasks, %d design points\n"
+    (Graph.num_tasks g) (Graph.num_points g);
+  let fastest, slowest = Analysis.serial_time_bounds g in
+  Printf.printf "serial bounds %.1f .. %.1f min; paper deadlines: 55, 75, 95\n\n"
+    fastest slowest;
+  List.iter line Instances.g2_deadlines;
+  (* How much battery does voltage scaling save end to end?  Compare the
+     75-minute schedule against running everything at full speed. *)
+  let naive =
+    Schedule.make g
+      ~sequence:(Analysis.any_topological_order g)
+      ~assignment:(Assignment.all_fastest g)
+  in
+  Printf.printf
+    "\nall-fastest reference: sigma %.0f mA*min at %.1f min finish\n"
+    (Schedule.battery_cost ~model g naive)
+    (Schedule.finish_time g naive)

@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Chowdhury Float Graph List Rng Schedule Solution

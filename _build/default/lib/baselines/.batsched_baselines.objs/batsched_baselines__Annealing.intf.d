@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Batsched_battery Batsched_numeric Batsched_taskgraph Graph Model Solution

@@ -1,0 +1,1 @@
+lib/baselines/branch_bound.ml: Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Chowdhury Float Graph List Schedule Solution Task

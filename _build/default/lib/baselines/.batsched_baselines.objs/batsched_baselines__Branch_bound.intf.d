@@ -1,0 +1,1 @@
+lib/baselines/branch_bound.mli: Batsched_battery Batsched_taskgraph Graph Model Solution

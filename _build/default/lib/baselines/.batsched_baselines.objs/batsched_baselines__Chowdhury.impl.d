@@ -1,0 +1,1 @@
+lib/baselines/chowdhury.ml: Assignment Batsched_sched Batsched_taskgraph Graph List Priorities Schedule Solution Task

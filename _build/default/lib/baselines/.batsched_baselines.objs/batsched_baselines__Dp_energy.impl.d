@@ -1,0 +1,1 @@
+lib/baselines/dp_energy.ml: Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Float Graph Priorities Schedule Solution Task Ticks

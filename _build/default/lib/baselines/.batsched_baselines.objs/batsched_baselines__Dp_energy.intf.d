@@ -1,0 +1,1 @@
+lib/baselines/dp_energy.mli: Batsched_battery Batsched_sched Batsched_taskgraph Graph Model Solution

@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.ml: Analysis Array Assignment Batsched_sched Batsched_taskgraph Graph List Schedule Solution Task

@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.mli: Batsched_battery Batsched_taskgraph Graph Model Solution

@@ -1,0 +1,1 @@
+lib/baselines/random_search.ml: Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Fun Graph Kahan List Rng Schedule Solution Task

@@ -1,0 +1,1 @@
+lib/baselines/random_search.mli: Batsched_battery Batsched_numeric Batsched_taskgraph Graph Model Solution

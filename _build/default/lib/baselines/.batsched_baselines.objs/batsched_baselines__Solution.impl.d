@@ -1,0 +1,1 @@
+lib/baselines/solution.ml: Batsched_sched Schedule

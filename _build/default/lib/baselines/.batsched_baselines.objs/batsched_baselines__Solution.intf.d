@@ -1,0 +1,1 @@
+lib/baselines/solution.mli: Batsched_battery Batsched_sched Batsched_taskgraph Graph Model Schedule

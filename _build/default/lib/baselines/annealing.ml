@@ -1,0 +1,108 @@
+open Batsched_numeric
+open Batsched_taskgraph
+open Batsched_sched
+
+exception No_feasible_state
+
+type params = {
+  initial_temperature : float;
+  cooling : float;
+  steps_per_temperature : int;
+  temperature_floor : float;
+}
+
+let default_params =
+  { initial_temperature = 2000.0;
+    cooling = 0.9;
+    steps_per_temperature = 60;
+    temperature_floor = 1.0 }
+
+let check_params p =
+  if not (p.initial_temperature > 0.0) then invalid_arg "Annealing: bad T0";
+  if not (p.cooling > 0.0 && p.cooling < 1.0) then invalid_arg "Annealing: bad cooling";
+  if p.steps_per_temperature < 1 then invalid_arg "Annealing: bad steps";
+  if not (p.temperature_floor > 0.0) then invalid_arg "Annealing: bad floor"
+
+type state = { sequence : int array; assignment : Assignment.t }
+
+(* Deadline overruns are priced steeply so the walk is pulled back into
+   the feasible region: 1 minute over costs as much as ~1 A of load. *)
+let penalty_rate = 1000.0
+
+let energy_of ~model g ~deadline st =
+  let sequence = Array.to_list st.sequence in
+  let sched = Schedule.make g ~sequence ~assignment:st.assignment in
+  let sigma = Schedule.battery_cost ~model g sched in
+  let overrun = Float.max 0.0 (Schedule.finish_time g sched -. deadline) in
+  (sigma +. (penalty_rate *. overrun), sigma, overrun <= 1e-9, sched)
+
+let swap_ok g st k =
+  (* positions k and k+1 may swap iff no edge between the two tasks *)
+  let a = st.sequence.(k) and b = st.sequence.(k + 1) in
+  not (List.mem b (Graph.succs g a))
+
+let neighbour ~rng g st =
+  let n = Array.length st.sequence and m = Graph.num_points g in
+  let try_swap () =
+    if n < 2 then None
+    else begin
+      let k = Rng.int rng (n - 1) in
+      if swap_ok g st k then begin
+        let seq = Array.copy st.sequence in
+        let tmp = seq.(k) in
+        seq.(k) <- seq.(k + 1);
+        seq.(k + 1) <- tmp;
+        Some { st with sequence = seq }
+      end
+      else None
+    end
+  in
+  let repoint () =
+    let i = Rng.int rng n in
+    let j = Rng.int rng m in
+    Some { st with assignment = Assignment.set st.assignment i j }
+  in
+  let rec attempt tries =
+    if tries = 0 then repoint ()
+    else
+      match (if Rng.bool rng then try_swap () else repoint ()) with
+      | Some s -> Some s
+      | None -> attempt (tries - 1)
+  in
+  match attempt 8 with Some s -> s | None -> st
+
+let run ?(params = default_params) ~rng ~model g ~deadline =
+  check_params params;
+  let start_solution =
+    try Some (Chowdhury.run ~model g ~deadline)
+    with Chowdhury.Infeasible -> None
+  in
+  match start_solution with
+  | None -> raise No_feasible_state
+  | Some sol ->
+      let st =
+        ref
+          { sequence = Array.of_list sol.Solution.schedule.Schedule.sequence;
+            assignment = sol.Solution.schedule.Schedule.assignment }
+      in
+      let cur_energy = ref (let e, _, _, _ = energy_of ~model g ~deadline !st in e) in
+      let best = ref sol in
+      let temperature = ref params.initial_temperature in
+      while !temperature > params.temperature_floor do
+        for _ = 1 to params.steps_per_temperature do
+          let cand = neighbour ~rng g !st in
+          let e, sigma, feasible, sched = energy_of ~model g ~deadline cand in
+          let accept =
+            e <= !cur_energy
+            || Rng.float rng 1.0 < exp ((!cur_energy -. e) /. !temperature)
+          in
+          if accept then begin
+            st := cand;
+            cur_energy := e;
+            if feasible && sigma < !best.Solution.sigma then
+              best := Solution.of_schedule ~model g sched
+          end
+        done;
+        temperature := !temperature *. params.cooling
+      done;
+      !best

@@ -1,0 +1,33 @@
+(** Simulated-annealing scheduler.
+
+    The paper's related-work section argues SA is too heavy to run {e on
+    the embedded platform itself}; we implement it anyway as an offline
+    quality yardstick.  The state is a (sequence, assignment) pair; the
+    neighbourhood either re-points one task or swaps two adjacent
+    sequence positions when the swap preserves precedence.  Deadline
+    violations are admitted during the walk but penalized, so the
+    returned solution is always feasible (the best feasible state
+    seen). *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+exception No_feasible_state
+(** Raised when the walk never visits a deadline-feasible state (only
+    possible when even all-fastest is infeasible). *)
+
+type params = {
+  initial_temperature : float;  (** > 0; in sigma units *)
+  cooling : float;              (** geometric factor in (0, 1) *)
+  steps_per_temperature : int;  (** > 0 *)
+  temperature_floor : float;    (** stop when T drops below; > 0 *)
+}
+
+val default_params : params
+(** T0 = 2000 mA*min, cooling 0.9, 60 steps per level, floor 1.0. *)
+
+val run :
+  ?params:params -> rng:Batsched_numeric.Rng.t -> model:Model.t ->
+  Graph.t -> deadline:float -> Solution.t
+(** Anneal from the Chowdhury starting point.
+    @raise No_feasible_state; @raise Invalid_argument on bad params. *)

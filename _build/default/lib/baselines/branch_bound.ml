@@ -1,0 +1,97 @@
+open Batsched_taskgraph
+open Batsched_sched
+
+exception Infeasible
+
+type outcome = {
+  solution : Solution.t;
+  optimal : bool;
+  nodes : int;
+}
+
+let run ?(node_budget = 2_000_000) ~model g ~deadline =
+  let n = Graph.num_tasks g and m = Graph.num_points g in
+  let duration i j = (Task.point (Graph.task g i) j).Task.duration in
+  let charge i j = Task.charge (Graph.task g i) j in
+  let fastest i = duration i 0 in
+  let min_charge =
+    Array.init n (fun i ->
+        let best = ref Float.infinity in
+        for j = 0 to m - 1 do
+          best := Float.min !best (charge i j)
+        done;
+        !best)
+  in
+  (* seed the incumbent with the Chowdhury heuristic *)
+  let incumbent =
+    match Chowdhury.run ~model g ~deadline with
+    | sol -> ref (Some sol)
+    | exception Chowdhury.Infeasible -> raise Infeasible
+  in
+  let best_sigma () =
+    match !incumbent with
+    | Some s -> s.Solution.sigma
+    | None -> Float.infinity
+  in
+  let remaining_preds = Array.init n (fun i -> List.length (Graph.preds g i)) in
+  let placed = Array.make n false in
+  let seq = Array.make n (-1) in
+  let cols = Array.make n 0 in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  (* remaining fastest time and minimal charge, updated incrementally *)
+  let rest_fast = ref (Batsched_numeric.Kahan.sum_fn n fastest) in
+  let rest_min_charge =
+    ref (Batsched_numeric.Kahan.sum_fn n (fun i -> min_charge.(i)))
+  in
+  let rec dfs depth time coulombs =
+    if !nodes >= node_budget then truncated := true
+    else if depth = n then begin
+      let sequence = Array.to_list seq in
+      let assignment =
+        let arr = Array.make n 0 in
+        Array.iteri (fun pos t -> arr.(t) <- cols.(pos)) seq;
+        Assignment.of_list g (Array.to_list arr)
+      in
+      let sched = Schedule.make g ~sequence ~assignment in
+      let sol = Solution.of_schedule ~model g sched in
+      match !incumbent with
+      | Some b when b.Solution.sigma <= sol.Solution.sigma -> ()
+      | _ -> incumbent := Some sol
+    end
+    else
+      for t = 0 to n - 1 do
+        if (not placed.(t)) && remaining_preds.(t) = 0 && not !truncated then begin
+          placed.(t) <- true;
+          List.iter
+            (fun w -> remaining_preds.(w) <- remaining_preds.(w) - 1)
+            (Graph.succs g t);
+          seq.(depth) <- t;
+          rest_fast := !rest_fast -. fastest t;
+          rest_min_charge := !rest_min_charge -. min_charge.(t);
+          for j = 0 to m - 1 do
+            if not !truncated then begin
+              incr nodes;
+              let time' = time +. duration t j in
+              let coulombs' = coulombs +. charge t j in
+              let feasible = time' +. !rest_fast <= deadline +. 1e-9 in
+              let bound = coulombs' +. !rest_min_charge in
+              if feasible && bound < best_sigma () -. 1e-9 then begin
+                cols.(depth) <- j;
+                dfs (depth + 1) time' coulombs'
+              end
+            end
+          done;
+          rest_fast := !rest_fast +. fastest t;
+          rest_min_charge := !rest_min_charge +. min_charge.(t);
+          List.iter
+            (fun w -> remaining_preds.(w) <- remaining_preds.(w) + 1)
+            (Graph.succs g t);
+          placed.(t) <- false
+        end
+      done
+  in
+  dfs 0 0.0 0.0;
+  match !incumbent with
+  | Some solution -> { solution; optimal = not !truncated; nodes = !nodes }
+  | None -> raise Infeasible

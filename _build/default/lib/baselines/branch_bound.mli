@@ -1,0 +1,39 @@
+(** Branch-and-bound exact scheduler.
+
+    Depth-first search over (next ready task, design-point column)
+    decisions, pruned by two sound rules:
+
+    - {e feasibility}: placed time plus the fastest completion of the
+      remaining tasks must fit the deadline;
+    - {e charge bound}: the final sigma of any completion is at least
+      the coulombs drawn so far plus each remaining task's cheapest
+      possible charge (RV sigma at completion is bounded below by the
+      plain coulomb count).
+
+    The incumbent is seeded with the Chowdhury heuristic so pruning
+    bites immediately.  Exact like {!Exhaustive} but typically orders of
+    magnitude fewer nodes; still exponential — use the node budget.
+
+    Soundness caveat: the charge bound assumes the model satisfies
+    [sigma_end >= coulomb count], which holds for the ideal,
+    Rakhmatov–Vrudhula and KiBaM models but {e not} for Peukert below
+    its reference current; use {!Exhaustive} for such models. *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+exception Infeasible
+(** No schedule meets the deadline. *)
+
+type outcome = {
+  solution : Solution.t;
+  optimal : bool;   (** false when the node budget stopped the search *)
+  nodes : int;      (** decision nodes expanded *)
+}
+
+val run :
+  ?node_budget:int -> model:Model.t -> Graph.t -> deadline:float -> outcome
+(** [run ~model g ~deadline] with [node_budget] defaulting to
+    2_000_000.  When the budget is hit the best solution found so far is
+    returned with [optimal = false].
+    @raise Infeasible when even all-fastest misses the deadline. *)

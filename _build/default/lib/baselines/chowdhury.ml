@@ -1,0 +1,35 @@
+open Batsched_taskgraph
+open Batsched_sched
+
+exception Infeasible
+
+let run ?sequence ~model g ~deadline =
+  let sequence =
+    match sequence with
+    | Some s -> s
+    | None -> Priorities.sequence_dec_energy g
+  in
+  let m = Graph.num_points g in
+  let duration i j = (Task.point (Graph.task g i) j).Task.duration in
+  let assignment = ref (Assignment.all_fastest g) in
+  let total = ref (Assignment.total_time g !assignment) in
+  if !total > deadline +. 1e-9 then raise Infeasible;
+  (* Last task first: give each task the slowest column the remaining
+     slack allows. *)
+  List.iter
+    (fun i ->
+      let j = Assignment.column !assignment i in
+      let rec relax j =
+        if j + 1 < m then begin
+          let grow = duration i (j + 1) -. duration i j in
+          if !total +. grow <= deadline +. 1e-9 then begin
+            total := !total +. grow;
+            assignment := Assignment.set !assignment i (j + 1);
+            relax (j + 1)
+          end
+        end
+      in
+      relax j)
+    (List.rev sequence);
+  Solution.of_schedule ~model g
+    (Schedule.make g ~sequence ~assignment:!assignment)

@@ -1,0 +1,24 @@
+(** The Chowdhury–Chakrabarti heuristic (the paper's reference [7]).
+
+    "A simplified heuristic which reduced the voltage level of the tasks
+    as much as possible starting from the last task in the schedule":
+    begin with every task at its fastest design point, then walk the
+    sequence from the last task to the first, moving each task to the
+    slowest column that still meets the deadline, exploiting the
+    slack-is-better-spent-late property.  The sequence itself comes from
+    the same list scheduler as the paper's initial sequence
+    ([SequenceDecEnergy]) so the comparison isolates the assignment
+    policy. *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+exception Infeasible
+(** Raised when even the all-fastest assignment misses the deadline. *)
+
+val run :
+  ?sequence:int list -> model:Model.t -> Graph.t -> deadline:float ->
+  Solution.t
+(** [run ~model g ~deadline] runs the heuristic; [sequence] (default
+    [Priorities.sequence_dec_energy g]) must be a linearization.
+    @raise Infeasible, or [Invalid_argument] on a bad [sequence]. *)

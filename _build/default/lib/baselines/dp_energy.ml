@@ -1,0 +1,71 @@
+open Batsched_numeric
+open Batsched_taskgraph
+open Batsched_sched
+
+exception Infeasible
+
+let select_design_points g ~deadline =
+  let n = Graph.num_tasks g and m = Graph.num_points g in
+  (* Ceiling-round durations and floor the budget: exact on the
+     published 0.1-min data, conservatively feasible on arbitrary
+     floats. *)
+  let budget = Ticks.of_minutes_floor deadline in
+  let ticks i j =
+    Ticks.of_minutes_ceil (Task.point (Graph.task g i) j).Task.duration
+  in
+  let energy i j = Task.energy (Graph.task g i) j in
+  (* dp.(t) = least total energy of tasks processed so far using exactly
+     t ticks; parent.(i).(t) = column chosen for task i at that cell. *)
+  let dp = Array.make (budget + 1) Float.infinity in
+  dp.(0) <- 0.0;
+  let parent = Array.make_matrix n (budget + 1) (-1) in
+  for i = 0 to n - 1 do
+    let next = Array.make (budget + 1) Float.infinity in
+    for t = 0 to budget do
+      if dp.(t) < Float.infinity then
+        (* scan columns fastest-to-slowest so that equal energies keep
+           the slower (lower-power) choice via >= *)
+        for j = 0 to m - 1 do
+          let t' = t + ticks i j in
+          if t' <= budget then begin
+            let e = dp.(t) +. energy i j in
+            if next.(t') >= e then begin
+              (* tie-break note: for equal energy at the same cell the
+                 later (slower) column wins *)
+              if next.(t') > e || parent.(i).(t') < j then begin
+                next.(t') <- e;
+                parent.(i).(t') <- j
+              end
+            end
+          end
+        done
+    done;
+    Array.blit next 0 dp 0 (budget + 1)
+  done;
+  (* Best final cell: least energy, ties to the larger time (more slack
+     consumed means slower points were used). *)
+  let best_t = ref (-1) in
+  for t = 0 to budget do
+    if dp.(t) < Float.infinity
+       && (!best_t < 0 || dp.(t) < dp.(!best_t) -. 1e-12
+           || (dp.(t) <= dp.(!best_t) +. 1e-12 && t > !best_t))
+    then best_t := t
+  done;
+  if !best_t < 0 then raise Infeasible;
+  (* Walk parents backwards to recover the per-task columns. *)
+  let columns = Array.make n 0 in
+  let t = ref !best_t in
+  for i = n - 1 downto 0 do
+    let j = parent.(i).(!t) in
+    (* parent is only written on reachable cells *)
+    assert (j >= 0);
+    columns.(i) <- j;
+    t := !t - ticks i j
+  done;
+  assert (!t = 0);
+  Assignment.of_list g (Array.to_list columns)
+
+let run ~model g ~deadline =
+  let assignment = select_design_points g ~deadline in
+  let sequence = Priorities.greedy_mean_current g assignment in
+  Solution.of_schedule ~model g (Schedule.make g ~sequence ~assignment)

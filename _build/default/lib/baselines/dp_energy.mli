@@ -1,0 +1,28 @@
+(** The comparison algorithm of the paper's Sec. 5 — reference [1]
+    (Rakhmatov & Vrudhula, TECS 2003), as the paper describes it:
+
+    1. choose design points by a dynamic program minimizing {e total
+       energy} subject to the deadline (a multiple-choice knapsack over
+       0.1-minute ticks — exact for the published data, which lives on
+       that grid, and conservatively rounded for arbitrary durations so
+       the deadline guarantee always holds);
+    2. sequence greedily with weight
+       [w(v) = max(I_v, mean I over the subgraph rooted at v)] (Eq. 5),
+       largest weight first among ready tasks.
+
+    The battery model plays no part in the optimization — that is the
+    point of the comparison. *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+exception Infeasible
+(** Raised when even the all-fastest assignment misses the deadline. *)
+
+val select_design_points : Graph.t -> deadline:float -> Batsched_sched.Assignment.t
+(** The energy-minimal deadline-feasible assignment (ties resolve to
+    lower-power columns).  @raise Infeasible. *)
+
+val run : model:Model.t -> Graph.t -> deadline:float -> Solution.t
+(** Full baseline: DP selection + Eq. 5 greedy sequencing, evaluated
+    under [model].  @raise Infeasible. *)

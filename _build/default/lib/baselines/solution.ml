@@ -1,0 +1,12 @@
+open Batsched_sched
+
+type t = {
+  schedule : Schedule.t;
+  sigma : float;
+  finish : float;
+}
+
+let of_schedule ~model g schedule =
+  { schedule;
+    sigma = Schedule.battery_cost ~model g schedule;
+    finish = Schedule.finish_time g schedule }

@@ -1,0 +1,14 @@
+(** Common result shape for all baseline schedulers. *)
+
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_battery
+
+type t = {
+  schedule : Schedule.t;
+  sigma : float;    (** battery cost under the evaluation model *)
+  finish : float;   (** serial completion time, minutes *)
+}
+
+val of_schedule : model:Model.t -> Graph.t -> Schedule.t -> t
+(** Evaluate a schedule into a solution record. *)

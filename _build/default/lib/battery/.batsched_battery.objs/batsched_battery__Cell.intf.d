@@ -1,0 +1,1 @@
+lib/battery/cell.mli: Model

@@ -1,0 +1,1 @@
+lib/battery/curves.ml: Batsched_numeric Cell Interp Lifetime List Model Profile

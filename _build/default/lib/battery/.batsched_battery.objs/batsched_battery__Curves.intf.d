@@ -1,0 +1,1 @@
+lib/battery/curves.mli: Batsched_numeric Cell Model Profile

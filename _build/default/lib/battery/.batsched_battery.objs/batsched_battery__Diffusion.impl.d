@@ -1,0 +1,1 @@
+lib/battery/diffusion.ml: Array Batsched_numeric Float List Model Profile Rakhmatov Stdlib Tridiag

@@ -1,0 +1,1 @@
+lib/battery/diffusion.mli: Model Profile

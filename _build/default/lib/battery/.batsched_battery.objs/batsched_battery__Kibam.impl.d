@@ -1,0 +1,1 @@
+lib/battery/kibam.ml: List Model Profile

@@ -1,0 +1,1 @@
+lib/battery/lifetime.ml: Batsched_numeric Float Model Profile Rootfind

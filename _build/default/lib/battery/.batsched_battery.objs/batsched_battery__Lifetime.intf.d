@@ -1,0 +1,1 @@
+lib/battery/lifetime.mli: Model Profile

@@ -1,0 +1,1 @@
+lib/battery/model.mli: Profile

@@ -1,0 +1,1 @@
+lib/battery/periodic.ml: Batsched_numeric Float Interp List Model Profile

@@ -1,0 +1,1 @@
+lib/battery/periodic.mli: Batsched_numeric Interp Model Profile

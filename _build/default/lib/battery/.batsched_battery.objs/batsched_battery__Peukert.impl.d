@@ -1,0 +1,1 @@
+lib/battery/peukert.ml: Batsched_numeric Kahan List Model Profile

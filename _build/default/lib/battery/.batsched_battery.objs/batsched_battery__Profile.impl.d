@@ -1,0 +1,1 @@
+lib/battery/profile.ml: Batsched_numeric Float Format List

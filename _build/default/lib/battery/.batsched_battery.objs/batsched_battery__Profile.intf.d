@@ -1,0 +1,1 @@
+lib/battery/profile.mli: Format

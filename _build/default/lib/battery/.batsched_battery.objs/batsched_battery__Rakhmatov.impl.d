@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.ml: Batsched_numeric Float Kahan List Model Profile Series

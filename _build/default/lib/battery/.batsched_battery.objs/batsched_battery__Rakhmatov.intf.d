@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.mli: Model Profile

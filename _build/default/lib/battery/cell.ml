@@ -1,0 +1,16 @@
+type t = { label : string; alpha : float; beta : float }
+
+let make ~label ~alpha ~beta =
+  if not (alpha > 0.0) then invalid_arg "Cell.make: alpha must be positive";
+  if not (beta > 0.0) then invalid_arg "Cell.make: beta must be positive";
+  { label; alpha; beta }
+
+let itsy = make ~label:"itsy" ~alpha:40375.0 ~beta:0.273
+
+let ideal_like = make ~label:"ideal-like" ~alpha:itsy.alpha ~beta:50.0
+
+let sluggish = make ~label:"sluggish" ~alpha:itsy.alpha ~beta:0.1
+
+let rated_capacity_mah t = t.alpha /. 60.0
+
+let model t = Rakhmatov.model ~beta:t.beta ()

@@ -1,0 +1,5 @@
+let sigma p ~at =
+  if at < 0.0 then invalid_arg "Ideal.sigma: negative time";
+  Profile.total_charge (Profile.truncate p ~at)
+
+let model = { Model.name = "ideal"; sigma }

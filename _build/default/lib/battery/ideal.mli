@@ -1,0 +1,10 @@
+(** Ideal (linear) battery: sigma is the plain coulomb count.
+
+    The limiting behaviour of {!Rakhmatov} as [beta -> infinity]; useful
+    as a baseline cost function and in tests. *)
+
+val sigma : Profile.t -> at:float -> float
+(** [sigma p ~at = Profile.total_charge (Profile.truncate p ~at)]. *)
+
+val model : Model.t
+(** Packaged as a {!Model.t} named ["ideal"]. *)

@@ -1,0 +1,6 @@
+type t = {
+  name : string;
+  sigma : Profile.t -> at:float -> float;
+}
+
+let sigma_end m p = m.sigma p ~at:(Profile.length p)

@@ -1,0 +1,23 @@
+(** Battery model interface.
+
+    A model maps a discharge profile and an observation instant to the
+    *apparent charge lost* sigma (mA*min).  A battery with capacity
+    parameter alpha dies at the first instant where sigma reaches alpha.
+    Three implementations ship with the library: {!Ideal}, {!Peukert}
+    and {!Rakhmatov} (the paper's cost function). *)
+
+type t = {
+  name : string;
+  (** Short identifier used in reports. *)
+  sigma : Profile.t -> at:float -> float;
+  (** [sigma profile ~at] is the apparent charge lost by time [at]
+      (minutes).  Load beyond [at] is ignored.  Note that sigma need
+      {e not} be monotone in [at]: for the Rakhmatov–Vrudhula model the
+      unavailable-charge component recovers during rest (or light load
+      after heavy load), so sigma can dip — which is why lifetime
+      estimation looks for the {e first} crossing of alpha. *)
+}
+
+val sigma_end : t -> Profile.t -> float
+(** [sigma_end m p] evaluates sigma at the end of the profile — the
+    paper's "battery capacity used" figure of merit for a schedule. *)

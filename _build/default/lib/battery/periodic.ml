@@ -1,0 +1,85 @@
+open Batsched_numeric
+
+exception Unsustainable
+
+let default_max_cycles = 500
+
+let check_inputs ~alpha ~period cycle =
+  if not (alpha > 0.0) then invalid_arg "Periodic: alpha must be positive";
+  if not (period > 0.0) then invalid_arg "Periodic: period must be positive";
+  if Profile.length cycle > period +. 1e-9 then
+    invalid_arg "Periodic: cycle longer than the period"
+
+(* The peak of sigma inside a cycle occurs at one of its active-interval
+   end points (sigma relaxes during idle), so death within cycle k is
+   detected by probing those ends against the profile built so far. *)
+let cycles_to_death ?(max_cycles = default_max_cycles) ~model ~alpha ~period
+    cycle =
+  check_inputs ~alpha ~period cycle;
+  let base =
+    List.map
+      (fun (iv : Profile.interval) ->
+        (iv.Profile.start, iv.Profile.duration, iv.Profile.current))
+      (Profile.intervals cycle)
+  in
+  let rec go k acc =
+    if k >= max_cycles then max_cycles
+    else begin
+      let offset = float_of_int k *. period in
+      let shifted =
+        List.map (fun (s, d, c) -> (s +. offset, d, c)) base
+      in
+      let profile = Profile.of_intervals (List.rev_append acc shifted) in
+      let dead =
+        List.exists
+          (fun (s, d, _) -> model.Model.sigma profile ~at:(s +. d) >= alpha)
+          shifted
+      in
+      if dead then if k = 0 then raise Unsustainable else k
+      else go (k + 1) (List.rev_append shifted acc)
+    end
+  in
+  go 0 []
+
+let max_sustainable_cycles ?max_cycles ~model ~alpha cycle ~period ~target =
+  match cycles_to_death ?max_cycles ~model ~alpha ~period cycle with
+  | n -> n >= target
+  | exception Unsustainable -> false
+
+let min_period_for_cycles ?max_cycles ?(tolerance = 0.01) ~model ~alpha cycle
+    ~target =
+  if target < 1 then invalid_arg "Periodic.min_period_for_cycles: target < 1";
+  let len = Float.max 1e-6 (Profile.length cycle) in
+  let sustains period =
+    max_sustainable_cycles ?max_cycles ~model ~alpha cycle ~period ~target
+  in
+  (* generous recovery horizon: beyond this, more rest changes nothing
+     material for the shipped models *)
+  let hi = len +. 2000.0 in
+  if not (sustains hi) then None
+  else if sustains len then Some len
+  else begin
+    let rec bisect lo hi =
+      (* invariant: not (sustains lo) && sustains hi *)
+      if hi -. lo <= tolerance then hi
+      else begin
+        let mid = 0.5 *. (lo +. hi) in
+        if sustains mid then bisect lo mid else bisect mid hi
+      end
+    in
+    Some (bisect len hi)
+  end
+
+let interp_cycles ~model ~alpha cycle ~periods =
+  if List.length periods < 2 then
+    invalid_arg "Periodic.interp_cycles: need at least two periods";
+  Interp.of_points
+    (List.map
+       (fun period ->
+         let n =
+           match cycles_to_death ~model ~alpha ~period cycle with
+           | n -> n
+           | exception Unsustainable -> 0
+         in
+         (period, float_of_int n))
+       periods)

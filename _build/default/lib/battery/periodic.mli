@@ -1,0 +1,53 @@
+(** Periodic-mission lifetime analysis.
+
+    A portable device rarely runs its task graph once: it repeats it
+    every period (sense/compute/transmit loops, control cycles).  Given
+    one cycle's discharge profile and the period, this module answers
+    the operational questions: how many cycles does a full battery
+    sustain, and what is the slowest period that still reaches a target
+    cycle count?  Inter-cycle idle time lets the battery recover, so
+    the answers depend on the model's nonlinearity, not just on
+    charge-per-cycle. *)
+
+open Batsched_numeric
+
+exception Unsustainable
+(** The battery dies within the very first cycle. *)
+
+val cycles_to_death :
+  ?max_cycles:int -> model:Model.t -> alpha:float -> period:float ->
+  Profile.t -> int
+(** [cycles_to_death ~model ~alpha ~period cycle] repeats [cycle] every
+    [period] minutes (the cycle must fit: [length cycle <= period]) and
+    returns the number of {e complete} cycles before sigma first reaches
+    [alpha].  Returns [max_cycles] (default 500) if the battery
+    outlives the horizon — callers treating the result as exact should
+    check against it.  Cost grows quadratically in the cycle count (the
+    full history stays in the profile), so keep horizons realistic.
+    @raise Unsustainable if the first cycle already kills the battery.
+    @raise Invalid_argument on a non-positive period, a cycle longer
+    than the period, or non-positive [alpha]. *)
+
+val max_sustainable_cycles :
+  ?max_cycles:int -> model:Model.t -> alpha:float -> Profile.t ->
+  period:float -> target:int -> bool
+(** [max_sustainable_cycles ~model ~alpha cycle ~period ~target] is true
+    iff the battery completes at least [target] cycles (false instead of
+    raising when the first cycle is fatal). *)
+
+val min_period_for_cycles :
+  ?max_cycles:int -> ?tolerance:float -> model:Model.t -> alpha:float ->
+  Profile.t -> target:int -> float option
+(** [min_period_for_cycles ~model ~alpha cycle ~target] finds (by
+    bisection, [tolerance] minutes, default 0.01) the smallest period
+    that still sustains [target] complete cycles, or [None] if even
+    arbitrarily long rest cannot (the asymptotic budget
+    [target * charge-per-cycle] exceeds alpha).  Longer periods mean
+    more recovery, so sustainability is monotone in the period. *)
+
+val interp_cycles :
+  model:Model.t -> alpha:float -> Profile.t -> periods:float list ->
+  Interp.t
+(** Tabulate cycles-to-death against the period — the data behind a
+    period/endurance trade-off curve.
+    @raise Invalid_argument on fewer than two periods. *)

@@ -1,0 +1,104 @@
+type interval = { start : float; duration : float; current : float }
+
+type t = interval list (* sorted by start, non-overlapping *)
+
+let empty = []
+
+let check_interval (start, duration, current) =
+  if not (Float.is_finite start && Float.is_finite duration && Float.is_finite current)
+  then invalid_arg "Profile: non-finite interval field";
+  if start < 0.0 then invalid_arg "Profile: negative start time";
+  if duration < 0.0 then invalid_arg "Profile: negative duration";
+  if current < 0.0 then invalid_arg "Profile: negative current"
+
+let of_intervals triples =
+  List.iter check_interval triples;
+  let kept = List.filter (fun (_, d, _) -> d > 0.0) triples in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) kept in
+  let rec check_overlap = function
+    | (s1, d1, _) :: ((s2, _, _) :: _ as rest) ->
+        (* allow touching intervals; tiny tolerance for float noise *)
+        if s1 +. d1 > s2 +. 1e-9 then invalid_arg "Profile: overlapping intervals"
+        else check_overlap rest
+    | [ _ ] | [] -> ()
+  in
+  check_overlap sorted;
+  List.map (fun (start, duration, current) -> { start; duration; current }) sorted
+
+let sequential pairs =
+  let _, triples =
+    List.fold_left
+      (fun (t, acc) (current, duration) ->
+        if duration < 0.0 then invalid_arg "Profile.sequential: negative duration";
+        if current < 0.0 then invalid_arg "Profile.sequential: negative current";
+        (t +. duration, (t, duration, current) :: acc))
+      (0.0, []) pairs
+  in
+  of_intervals (List.rev triples)
+
+let constant ~current ~duration = of_intervals [ (0.0, duration, current) ]
+
+let with_idle t ~after ~idle =
+  if idle < 0.0 then invalid_arg "Profile.with_idle: negative idle";
+  List.map
+    (fun iv -> if iv.start >= after then { iv with start = iv.start +. idle } else iv)
+    t
+
+let intervals t = t
+
+let length = function
+  | [] -> 0.0
+  | t ->
+      List.fold_left (fun acc iv -> Float.max acc (iv.start +. iv.duration)) 0.0 t
+
+let total_charge t =
+  Batsched_numeric.Kahan.sum_list (List.map (fun iv -> iv.current *. iv.duration) t)
+
+let truncate t ~at =
+  List.filter_map
+    (fun iv ->
+      if iv.start >= at then None
+      else if iv.start +. iv.duration <= at then Some iv
+      else Some { iv with duration = at -. iv.start })
+    t
+
+let superpose ps =
+  let all = List.concat ps in
+  if all = [] then empty
+  else begin
+    (* breakpoints = every interval edge; between consecutive
+       breakpoints the total current is constant *)
+    let edges =
+      List.concat_map (fun iv -> [ iv.start; iv.start +. iv.duration ]) all
+      |> List.sort_uniq compare
+    in
+    let total_at t =
+      List.fold_left
+        (fun acc iv ->
+          if t >= iv.start -. 1e-12 && t < iv.start +. iv.duration -. 1e-12
+          then acc +. iv.current
+          else acc)
+        0.0 all
+    in
+    let rec segments = function
+      | a :: (b :: _ as rest) ->
+          let mid = 0.5 *. (a +. b) in
+          let current = total_at mid in
+          if current > 0.0 then (a, b -. a, current) :: segments rest
+          else segments rest
+      | [ _ ] | [] -> []
+    in
+    of_intervals (segments edges)
+  end
+
+let peak_current t = List.fold_left (fun acc iv -> Float.max acc iv.current) 0.0 t
+
+let pp fmt t =
+  match t with
+  | [] -> Format.fprintf fmt "(empty profile)"
+  | _ ->
+      List.iter
+        (fun iv ->
+          Format.fprintf fmt "[%8.2f .. %8.2f] %8.1f mA@."
+            iv.start (iv.start +. iv.duration) iv.current)
+        t

@@ -1,0 +1,21 @@
+open Batsched_numeric
+
+let default_beta = 0.273
+
+let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
+  if at < 0.0 then invalid_arg "Rakhmatov.sigma: negative time";
+  let clipped = Profile.truncate p ~at in
+  let contribution (iv : Profile.interval) =
+    let a = at -. iv.start -. iv.duration in
+    let b = at -. iv.start in
+    (* truncate guarantees a >= 0 up to float noise *)
+    let a = Float.max 0.0 a in
+    iv.current *. (iv.duration +. Series.kernel ~terms ~beta a b)
+  in
+  Kahan.sum_list (List.map contribution (Profile.intervals clipped))
+
+let model ?terms ?beta () =
+  { Model.name = "rakhmatov"; sigma = (fun p ~at -> sigma ?terms ?beta p ~at) }
+
+let unavailable_charge ?terms ?beta p ~at =
+  sigma ?terms ?beta p ~at -. Profile.total_charge (Profile.truncate p ~at)

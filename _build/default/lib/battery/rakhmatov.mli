@@ -1,0 +1,37 @@
+(** The Rakhmatov–Vrudhula analytical battery model (ICCAD 2001), the
+    paper's Eq. 1.
+
+    For a profile with intervals [(t_k, Delta_k, I_k)] and an
+    observation instant [T] at or after the end of the load,
+
+    {[ sigma(T) = sum_k I_k * ( Delta_k
+                  + 2 * sum_{m=1..10} ( exp(-beta^2 m^2 (T - t_k - Delta_k))
+                                      - exp(-beta^2 m^2 (T - t_k)) )
+                                      / (beta^2 m^2) ) ]}
+
+    The first addend is the actual charge drawn; the series term is the
+    charge made temporarily *unavailable* by the diffusion gradient,
+    which relaxes (recovers) as [T] moves away from the interval.  Large
+    [beta] means fast diffusion (an ideal battery as
+    [beta -> infinity]); small [beta] exaggerates rate-capacity and
+    recovery effects. *)
+
+val default_beta : float
+(** The paper's value, 0.273 (minutes^(-1/2)). *)
+
+val sigma :
+  ?terms:int -> ?beta:float -> Profile.t -> at:float -> float
+(** [sigma p ~at] evaluates Eq. 1 at time [at].  Load after [at] is
+    truncated away (an interval straddling [at] is clipped, so [at]
+    always coincides with the end of the last counted interval or
+    falls in idle time).  [terms] defaults to the paper's 10.
+    @raise Invalid_argument on negative [at]. *)
+
+val model : ?terms:int -> ?beta:float -> unit -> Model.t
+(** Package {!sigma} as a {!Model.t} named ["rakhmatov"]. *)
+
+val unavailable_charge :
+  ?terms:int -> ?beta:float -> Profile.t -> at:float -> float
+(** The series part alone: [sigma p ~at - total_charge (truncate p at)].
+    Non-negative while the load is active; decays toward 0 during rest
+    (full recovery in the limit). *)

@@ -1,0 +1,1 @@
+lib/core/choose.ml: Analysis Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Config Float Graph Kahan List Metrics Task

@@ -1,0 +1,1 @@
+lib/core/choose.mli: Assignment Batsched_sched Batsched_taskgraph Config Graph

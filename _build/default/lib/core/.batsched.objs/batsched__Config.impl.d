@@ -1,0 +1,1 @@
+lib/core/config.ml: Batsched_battery Model Rakhmatov

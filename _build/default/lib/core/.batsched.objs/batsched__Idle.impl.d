@@ -1,0 +1,1 @@
+lib/core/idle.ml: Array Assignment Batsched_battery Batsched_sched Batsched_taskgraph Config Float List Model Profile Schedule Stdlib Task

@@ -1,0 +1,1 @@
+lib/core/idle.mli: Batsched_battery Batsched_sched Batsched_taskgraph Config Graph Model Profile Schedule

@@ -1,0 +1,1 @@
+lib/core/iterate.ml: Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Config Float Fun Graph List Logs Priorities Schedule Window

@@ -1,0 +1,1 @@
+lib/core/iterate.mli: Batsched_numeric Batsched_sched Batsched_taskgraph Config Graph Logs Schedule Window

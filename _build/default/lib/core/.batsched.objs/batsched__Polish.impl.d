@@ -1,0 +1,1 @@
+lib/core/polish.ml: Analysis Array Batsched_sched Batsched_taskgraph Config Graph Iterate Schedule Window

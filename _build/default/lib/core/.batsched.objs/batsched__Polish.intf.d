@@ -1,0 +1,1 @@
+lib/core/polish.mli: Batsched_sched Batsched_taskgraph Config Graph Iterate Schedule

@@ -1,0 +1,1 @@
+lib/core/window.ml: Analysis Assignment Batsched_sched Batsched_taskgraph Choose Config Graph List Schedule Stdlib

@@ -1,0 +1,141 @@
+open Batsched_taskgraph
+open Batsched_sched
+
+type dpf_result = {
+  enr : float;
+  cif : float;
+  dpf : float;
+  hypothetical : Assignment.t;
+}
+
+let duration g i j = (Task.point (Graph.task g i) j).Task.duration
+
+let eps = 1e-9
+
+let calculate_dpf (cfg : Config.t) g ~sequence ~assignment ~tagged_pos
+    ~window_start =
+  let d = cfg.Config.deadline in
+  (* Tasks at positions < tagged_pos are free in S; everything else is
+     fixed (the suffix) or tagged.  Etemp starts with exactly the free
+     tasks unfixed. *)
+  let fixed_e = Array.make (Graph.num_tasks g) true in
+  for pos = 0 to tagged_pos - 1 do
+    fixed_e.(sequence.(pos)) <- false
+  done;
+  let stemp = ref assignment in
+  let te = ref (Assignment.total_time g assignment) in
+  let energy_order = Analysis.energy_vector g in
+  let finish infeasible =
+    let free =
+      List.init tagged_pos (fun pos -> sequence.(pos))
+    in
+    let seq_list = Array.to_list sequence in
+    let enr = Metrics.energy_ratio g !stemp in
+    let cif = Metrics.current_increase_fraction g !stemp seq_list in
+    let dpf =
+      if infeasible then Float.infinity
+      else if tagged_pos = 0 then Metrics.slack_ratio ~deadline:d ~time:!te
+      else Metrics.dpf_static g !stemp ~free ~window_start
+    in
+    { enr; cif; dpf; hypothetical = !stemp }
+  in
+  let rec upgrade () =
+    if !te <= d +. eps then finish false
+    else begin
+      (* First upgradable free task in increasing-average-energy order. *)
+      let candidate =
+        List.find_opt
+          (fun q ->
+            if fixed_e.(q) then false
+            else if Assignment.column !stemp q <= window_start then begin
+              (* already at the fastest allowed column: cannot upgrade *)
+              fixed_e.(q) <- true;
+              false
+            end
+            else true)
+          energy_order
+      in
+      match candidate with
+      | None -> finish true
+      | Some q ->
+          let col = Assignment.column !stemp q in
+          let col' = col - 1 in
+          te := !te -. duration g q col +. duration g q col';
+          stemp := Assignment.set !stemp q col';
+          if col' = window_start then fixed_e.(q) <- true;
+          upgrade ()
+    end
+  in
+  upgrade ()
+
+let suitability_of (cfg : Config.t) ~sr ~cr ~(factors : dpf_result) =
+  if factors.dpf = Float.infinity then Float.infinity
+  else begin
+    let w = cfg.Config.weights in
+    (w.Config.sr *. sr) +. (w.Config.cr *. cr)
+    +. (w.Config.enr *. factors.enr)
+    +. (w.Config.cif *. factors.cif)
+    +. (w.Config.dpf *. factors.dpf)
+  end
+
+let choose_design_points (cfg : Config.t) g ~sequence ~window_start =
+  let m = Graph.num_points g in
+  if window_start < 0 || window_start >= m then
+    invalid_arg "Choose.choose_design_points: window out of range";
+  if not (Analysis.is_topological g sequence) then
+    invalid_arg "Choose.choose_design_points: invalid sequence";
+  let seq = Array.of_list sequence in
+  let n = Array.length seq in
+  let d = cfg.Config.deadline in
+  let lowest = m - 1 in
+  (* Committed columns of the fixed suffix; free tasks read as lowest
+     power, which is also their hypothetical parking column. *)
+  let committed = ref (Assignment.all_lowest_power g) in
+  (* The paper fixes the last task at the lowest-power column outright
+     ("S(n,m) = 1"), which can bust a tight deadline before selection
+     even starts.  We take the slowest column that leaves the rest of
+     the sequence feasible at the window's fastest column — identical
+     to the paper whenever its own examples apply (see DESIGN.md). *)
+  let last = seq.(n - 1) in
+  let rest_fastest =
+    let open Batsched_numeric in
+    Kahan.sum_fn (n - 1) (fun pos -> duration g seq.(pos) window_start)
+  in
+  let last_col =
+    let rec pick j =
+      if j <= window_start then window_start
+      else if duration g last j +. rest_fastest <= d +. 1e-9 then j
+      else pick (j - 1)
+    in
+    pick lowest
+  in
+  if duration g last last_col +. rest_fastest > d +. 1e-9 then
+    raise Config.Deadline_unmeetable;
+  committed := Assignment.set !committed last last_col;
+  let tsum = ref (duration g last last_col) in
+  for pos = n - 2 downto 0 do
+    let t = seq.(pos) in
+    let best = ref None in
+    for j = lowest downto window_start do
+      let tagged = Assignment.set !committed t j in
+      let ttemp = !tsum +. duration g t j in
+      let sr = Metrics.slack_ratio ~deadline:d ~time:ttemp in
+      let cr =
+        Metrics.current_ratio g (Task.point (Graph.task g t) j).Task.current
+      in
+      let factors =
+        calculate_dpf cfg g ~sequence:seq ~assignment:tagged ~tagged_pos:pos
+          ~window_start
+      in
+      let b = suitability_of cfg ~sr ~cr ~factors in
+      match !best with
+      | Some (_, best_b) when best_b <= b -> ()
+      | _ -> if b < Float.infinity then best := Some (j, b)
+    done;
+    match !best with
+    | None -> raise Config.Deadline_unmeetable
+    | Some (k, _) ->
+        committed := Assignment.set !committed t k;
+        tsum := !tsum +. duration g t k
+  done;
+  !committed

@@ -1,0 +1,30 @@
+open Batsched_battery
+
+exception Deadline_unmeetable
+
+type term_weights = {
+  sr : float;
+  cr : float;
+  enr : float;
+  cif : float;
+  dpf : float;
+}
+
+let paper_weights = { sr = 1.0; cr = 1.0; enr = 1.0; cif = 1.0; dpf = 1.0 }
+
+type t = {
+  model : Model.t;
+  deadline : float;
+  weights : term_weights;
+  max_iterations : int;
+  full_window_only : bool;
+}
+
+let make ?model ?(weights = paper_weights) ?(max_iterations = 100)
+    ?(full_window_only = false) ~deadline () =
+  if not (deadline > 0.0) then invalid_arg "Config.make: deadline must be positive";
+  if max_iterations < 1 then invalid_arg "Config.make: max_iterations < 1";
+  let model =
+    match model with Some m -> m | None -> Rakhmatov.model ()
+  in
+  { model; deadline; weights; max_iterations; full_window_only }

@@ -1,0 +1,42 @@
+(** Configuration of the iterative battery-aware scheduler. *)
+
+open Batsched_battery
+
+exception Deadline_unmeetable
+(** Raised when even the all-fastest configuration misses the deadline
+    (the paper's "Exit with error" branch of [EvaluateWindows]). *)
+
+type term_weights = {
+  sr : float;   (** slack ratio *)
+  cr : float;   (** current ratio *)
+  enr : float;  (** energy ratio *)
+  cif : float;  (** current-increase fraction *)
+  dpf : float;  (** design-point fraction *)
+}
+(** Multipliers on the five terms of the suitability objective
+    B = SR + CR + ENR + CIF + DPF.  The paper uses all ones; setting a
+    weight to 0 knocks the term out (used by the ablation experiment).
+    Deadline feasibility is enforced independently of the weights. *)
+
+val paper_weights : term_weights
+(** All ones — the published objective. *)
+
+type t = {
+  model : Model.t;        (** battery cost model (default RV, beta 0.273) *)
+  deadline : float;       (** the task graph's deadline, minutes *)
+  weights : term_weights;
+  max_iterations : int;   (** safety cap on outer iterations *)
+  full_window_only : bool;
+      (** ablation switch: evaluate only the full design-point window
+          instead of the paper's narrow-to-wide sweep (default
+          false = the paper's behaviour) *)
+}
+
+val make :
+  ?model:Model.t -> ?weights:term_weights -> ?max_iterations:int ->
+  ?full_window_only:bool -> deadline:float -> unit -> t
+(** [make ~deadline ()] with defaults: Rakhmatov–Vrudhula model with the
+    paper's beta, {!paper_weights}, [max_iterations = 100], the full
+    window sweep.
+    @raise Invalid_argument on non-positive deadline or
+    [max_iterations < 1]. *)

@@ -1,0 +1,144 @@
+open Batsched_sched
+
+let log_src = Logs.Src.create "batsched" ~doc:"battery-aware scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type iteration = {
+  index : int;
+  sequence : int list;
+  windows : Window.t;
+  weighted_sequence : int list;
+  weighted_sigma : float;
+  min_sigma : float;
+}
+
+type result = {
+  iterations : iteration list;
+  schedule : Schedule.t;
+  sigma : float;
+  finish : float;
+}
+
+type incumbent = {
+  inc_sigma : float;
+  inc_sequence : int list;
+  inc_assignment : Assignment.t;
+}
+
+let cost (cfg : Config.t) g ~sequence ~assignment =
+  Schedule.battery_cost ~model:cfg.Config.model g
+    (Schedule.make g ~sequence ~assignment)
+
+let improve incumbent candidate =
+  if candidate.inc_sigma < incumbent.inc_sigma then candidate else incumbent
+
+(* The paper threads MinBCost (and the matching assignment) through all
+   iterations: EvaluateWindows only ever improves the incumbent, which
+   is why Table 3's "Min sigma" column is monotone and the final
+   iteration repeats the previous value. *)
+let run_from ~on_iteration ~initial (cfg : Config.t) g =
+  let rec loop ~index ~sequence ~incumbent ~prev_cost acc =
+    let windows = Window.evaluate cfg g ~sequence in
+    let best_w = windows.Window.best in
+    let incumbent =
+      improve incumbent
+        { inc_sigma = best_w.Window.sigma;
+          inc_sequence = sequence;
+          inc_assignment = best_w.Window.assignment }
+    in
+    let weighted_sequence =
+      Priorities.weighted_sequence g incumbent.inc_assignment
+    in
+    let weighted_sigma =
+      cost cfg g ~sequence:weighted_sequence
+        ~assignment:incumbent.inc_assignment
+    in
+    let incumbent =
+      improve incumbent
+        { inc_sigma = weighted_sigma;
+          inc_sequence = weighted_sequence;
+          inc_assignment = incumbent.inc_assignment }
+    in
+    let it =
+      { index;
+        sequence;
+        windows;
+        weighted_sequence;
+        weighted_sigma;
+        min_sigma = incumbent.inc_sigma }
+    in
+    Log.debug (fun m ->
+        m "iteration %d: window best %.1f, weighted %.1f, incumbent %.1f"
+          index best_w.Window.sigma weighted_sigma incumbent.inc_sigma);
+    on_iteration it;
+    let acc = it :: acc in
+    if incumbent.inc_sigma >= prev_cost || index >= cfg.Config.max_iterations
+    then (List.rev acc, incumbent)
+    else
+      loop ~index:(index + 1) ~sequence:weighted_sequence ~incumbent
+        ~prev_cost:incumbent.inc_sigma acc
+  in
+  let start =
+    { inc_sigma = Float.infinity;
+      inc_sequence = initial;
+      inc_assignment = Assignment.all_lowest_power g }
+  in
+  let iterations, incumbent =
+    loop ~index:1 ~sequence:initial ~incumbent:start ~prev_cost:Float.infinity []
+  in
+  let schedule =
+    Schedule.make g ~sequence:incumbent.inc_sequence
+      ~assignment:incumbent.inc_assignment
+  in
+  { iterations;
+    schedule;
+    sigma = incumbent.inc_sigma;
+    finish = Schedule.finish_time g schedule }
+
+let run ?(on_iteration = fun _ -> ()) (cfg : Config.t) g =
+  run_from ~on_iteration ~initial:(Priorities.sequence_dec_energy g) cfg g
+
+(* A uniformly random linearization by randomized ready-list choice. *)
+let random_sequence ~rng g =
+  let open Batsched_taskgraph in
+  let n = Graph.num_tasks g in
+  let remaining = Array.init n (fun i -> List.length (Graph.preds g i)) in
+  let scheduled = Array.make n false in
+  let rec step acc count =
+    if count = n then List.rev acc
+    else begin
+      let ready =
+        List.filter
+          (fun v -> (not scheduled.(v)) && remaining.(v) = 0)
+          (List.init n Fun.id)
+      in
+      let v = Batsched_numeric.Rng.pick rng ready in
+      scheduled.(v) <- true;
+      List.iter (fun w -> remaining.(w) <- remaining.(w) - 1) (Graph.succs g v);
+      step (v :: acc) (count + 1)
+    end
+  in
+  step [] 0
+
+let run_multistart ?(on_iteration = fun _ -> ()) ~rng ~starts (cfg : Config.t)
+    g =
+  if starts < 1 then invalid_arg "Iterate.run_multistart: starts < 1";
+  let seeds =
+    Priorities.sequence_dec_energy g
+    :: List.init (starts - 1) (fun _ -> random_sequence ~rng g)
+  in
+  let runs = List.map (fun initial -> run_from ~on_iteration ~initial cfg g) seeds in
+  match runs with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left (fun acc r -> if r.sigma < acc.sigma then r else acc)
+        first rest
+
+let schedule_of_iteration g it =
+  let best = it.windows.Window.best in
+  let sequence =
+    if it.weighted_sigma < best.Window.sigma then it.weighted_sequence
+    else it.sequence
+  in
+  Schedule.make g ~sequence ~assignment:best.Window.assignment

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Batsched Batsched_numeric Batsched_taskgraph Graph Instances List Printf Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_beta.ml: Batsched Batsched_baselines Batsched_battery Batsched_taskgraph Instances List Printf Rakhmatov Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_curves.ml: Batsched_battery Cell Curves List Printf Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_endurance.ml: Batsched Batsched_baselines Batsched_battery Batsched_sched Batsched_taskgraph Cell Instances List Periodic Printf Profile Schedule Tables

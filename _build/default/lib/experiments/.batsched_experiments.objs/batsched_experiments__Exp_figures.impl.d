@@ -1,0 +1,1 @@
+lib/experiments/exp_figures.ml: Array Assignment Batsched_sched Batsched_taskgraph Buffer Designpoints Float Fun Graph Instances List Metrics Printf String Tables Task Textio

@@ -1,0 +1,1 @@
+lib/experiments/exp_idle.ml: Batsched Batsched_taskgraph Graph Instances List Printf Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_models.ml: Batsched Batsched_baselines Batsched_battery Batsched_sched Batsched_taskgraph Graph Ideal Instances Kibam List Model Peukert Printf Rakhmatov Schedule String Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_platform.ml: Application Array Batsched Batsched_battery Batsched_platform Batsched_taskgraph Cpu Executor Float List Model Printf Rakhmatov Tables

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Assignment Batsched Batsched_sched Batsched_taskgraph Graph Instances List Printf String Tables Task

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Batsched Batsched_sched Batsched_taskgraph Fun Graph Instances List Printf Tables

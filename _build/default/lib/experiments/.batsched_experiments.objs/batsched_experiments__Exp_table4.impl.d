@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Batsched Batsched_baselines Batsched_battery Batsched_taskgraph Instances List Printf Tables

@@ -1,0 +1,11 @@
+(** Tiny CSV writer (RFC-4180 quoting) for machine-readable experiment
+    output. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val of_rows : string list list -> string
+(** Render rows (first row is conventionally the header). *)
+
+val save : string -> string list list -> unit
+(** [save path rows] writes {!of_rows} to [path]. *)

@@ -1,0 +1,80 @@
+open Batsched_taskgraph
+
+let name = "ablation"
+
+type row = {
+  knockout : string;
+  graph : string;
+  deadline : float;
+  sigma : float;
+  delta_pct : float;
+}
+
+let weights_without label =
+  let w = Batsched.Config.paper_weights in
+  match label with
+  | "none" -> w
+  | "SR" -> { w with Batsched.Config.sr = 0.0 }
+  | "CR" -> { w with Batsched.Config.cr = 0.0 }
+  | "ENR" -> { w with Batsched.Config.enr = 0.0 }
+  | "CIF" -> { w with Batsched.Config.cif = 0.0 }
+  | "DPF" -> { w with Batsched.Config.dpf = 0.0 }
+  | _ -> invalid_arg "Exp_ablation.weights_without"
+
+let knockouts = [ "none"; "SR"; "CR"; "ENR"; "CIF"; "DPF" ]
+
+let cases =
+  [ (Instances.g2, 55.0); (Instances.g2, 75.0); (Instances.g2, 95.0);
+    (Instances.g3, 100.0); (Instances.g3, 150.0); (Instances.g3, 230.0) ]
+
+let compute () =
+  List.concat_map
+    (fun (g, deadline) ->
+      let sigma_with label =
+        let cfg =
+          Batsched.Config.make ~weights:(weights_without label) ~deadline ()
+        in
+        (Batsched.Iterate.run cfg g).Batsched.Iterate.sigma
+      in
+      let full = sigma_with "none" in
+      List.map
+        (fun label ->
+          let sigma = if label = "none" then full else sigma_with label in
+          { knockout = label;
+            graph = Graph.label g;
+            deadline;
+            sigma;
+            delta_pct = 100.0 *. (sigma -. full) /. full })
+        knockouts)
+    cases
+
+let run () =
+  let rows = compute () in
+  let table =
+    Tables.render
+      ~headers:[ "Graph"; "Deadline"; "Knockout"; "sigma (mA*min)"; "vs full" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [ r.graph;
+               Tables.f0 r.deadline;
+               r.knockout;
+               Tables.f0 r.sigma;
+               (if r.knockout = "none" then "-" else Tables.pct r.delta_pct) ])
+           rows)
+  in
+  (* Mean degradation per knockout across the six cases. *)
+  let summary =
+    List.filter (fun k -> k <> "none") knockouts
+    |> List.map (fun k ->
+           let ds =
+             List.filter (fun r -> r.knockout = k) rows
+             |> List.map (fun r -> r.delta_pct)
+           in
+           [ k; Tables.pct (Batsched_numeric.Stats.mean ds) ])
+  in
+  Printf.sprintf
+    "Ablation of the suitability objective B = SR + CR + ENR + CIF + DPF\n%s\n\
+     Mean sigma change when a term is removed (positive = the term helps):\n%s"
+    table
+    (Tables.render ~headers:[ "Knockout"; "mean delta" ] ~rows:summary)

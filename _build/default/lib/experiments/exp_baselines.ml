@@ -1,0 +1,109 @@
+open Batsched_numeric
+open Batsched_taskgraph
+open Batsched_baselines
+
+let name = "baselines"
+
+let model = Batsched_battery.Rakhmatov.model ()
+
+let small_spec = { Generators.default_spec with Generators.num_points = 4 }
+
+let family rng = function
+  | "fork-join" -> Generators.fork_join ~rng ~spec:small_spec ~widths:[ 4; 3; 4 ]
+  | "layered" -> Generators.layered ~rng ~spec:small_spec ~layers:4 ~width:3 ~edge_prob:0.5
+  | "series-parallel" -> Generators.series_parallel ~rng ~spec:small_spec ~size:12
+  | f -> invalid_arg ("Exp_baselines.family: " ^ f)
+
+let algorithms =
+  [ "iterative"; "iter-ms6"; "dp-energy"; "chowdhury"; "annealing"; "random" ]
+
+let sigma_of ~rng g ~deadline = function
+  | "iterative" ->
+      let cfg = Batsched.Config.make ~deadline () in
+      (Batsched.Iterate.run cfg g).Batsched.Iterate.sigma
+  | "iter-ms6" ->
+      let cfg = Batsched.Config.make ~deadline () in
+      (Batsched.Iterate.run_multistart ~rng ~starts:6 cfg g)
+        .Batsched.Iterate.sigma
+  | "dp-energy" -> (Dp_energy.run ~model g ~deadline).Solution.sigma
+  | "chowdhury" -> (Chowdhury.run ~model g ~deadline).Solution.sigma
+  | "annealing" -> (Annealing.run ~rng ~model g ~deadline).Solution.sigma
+  | "random" ->
+      (Random_search.run ~samples:300 ~rng ~model g ~deadline).Solution.sigma
+  | "branch-bound" ->
+      (Branch_bound.run ~model g ~deadline).Branch_bound.solution.Solution.sigma
+  | a -> invalid_arg ("Exp_baselines.sigma_of: " ^ a)
+
+let comparison ~seed =
+  let families = [ "fork-join"; "layered"; "series-parallel" ] in
+  let slacks = [ 0.3; 0.6; 0.9 ] in
+  let instances_per_family = 3 in
+  let rows = ref [] in
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun slack ->
+          (* Mean sigma per algorithm, normalized by the per-instance
+             best so scales are comparable across random instances. *)
+          let per_algo = Hashtbl.create 8 in
+          for inst = 0 to instances_per_family - 1 do
+            let rng = Rng.create (seed + (1000 * inst) + Hashtbl.hash (fam, slack)) in
+            let g = family rng fam in
+            let deadline = Generators.feasible_deadline g ~slack in
+            let sigmas =
+              List.map (fun a -> (a, sigma_of ~rng g ~deadline a)) algorithms
+            in
+            let best = List.fold_left (fun acc (_, s) -> Float.min acc s) Float.infinity sigmas in
+            List.iter
+              (fun (a, s) ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt per_algo a) in
+                Hashtbl.replace per_algo a ((s /. best) :: prev))
+              sigmas
+          done;
+          let cells =
+            List.map
+              (fun a ->
+                Printf.sprintf "%.3f"
+                  (Stats.mean (Hashtbl.find per_algo a)))
+              algorithms
+          in
+          rows := (fam :: Printf.sprintf "%.1f" slack :: cells) :: !rows)
+        slacks)
+    families;
+  Tables.render
+    ~headers:(("family" :: "slack" :: algorithms))
+    ~rows:(List.rev !rows)
+
+let optimality_gaps ~seed =
+  let spec = { Generators.default_spec with Generators.num_points = 3 } in
+  let cases = 4 in
+  let gaps = Hashtbl.create 8 in
+  for inst = 0 to cases - 1 do
+    let rng = Rng.create (seed + (77 * inst)) in
+    let g = Generators.fork_join ~rng ~spec ~widths:[ 2; 2 ] (* 7 tasks *) in
+    let deadline = Generators.feasible_deadline g ~slack:0.5 in
+    let opt = (Exhaustive.run ~model g ~deadline).Solution.sigma in
+    List.iter
+      (fun a ->
+        let s = sigma_of ~rng g ~deadline a in
+        let gap = 100.0 *. (s -. opt) /. opt in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt gaps a) in
+        Hashtbl.replace gaps a (gap :: prev))
+      ("branch-bound" :: algorithms)
+  done;
+  Tables.render ~headers:[ "algorithm"; "mean gap vs optimum"; "max gap" ]
+    ~rows:
+      (List.map
+         (fun a ->
+           let g = Hashtbl.find gaps a in
+           let _, hi = Stats.min_max g in
+           [ a; Tables.pct (Stats.mean g); Tables.pct hi ])
+         ("branch-bound" :: algorithms))
+
+let run ?(seed = 1) () =
+  Printf.sprintf
+    "Algorithm comparison on synthetic families \
+     (mean sigma normalized to per-instance best; 3 instances each)\n%s\n\
+     Optimality gap on 7-task fork-join instances \
+     (exact optimum by exhaustive enumeration):\n%s"
+    (comparison ~seed) (optimality_gaps ~seed)

@@ -1,0 +1,13 @@
+(** Extension experiment: four-way algorithm comparison on synthetic
+    families, plus an optimality-gap measurement against exhaustive
+    enumeration on small instances. *)
+
+val name : string
+
+val run : ?seed:int -> unit -> string
+(** [run ()] (seed defaults to 1) compares the iterative algorithm,
+    the energy-DP baseline, the Chowdhury heuristic, simulated
+    annealing and random search on fork-join / layered / series-parallel
+    families at three slack levels, then reports the mean optimality
+    gap of each on tiny graphs where the exact optimum is
+    enumerable. *)

@@ -1,0 +1,13 @@
+(** Extension experiment: sensitivity to the battery's diffusion
+    parameter beta.
+
+    Small beta exaggerates the rate-capacity and recovery effects; as
+    beta grows the Rakhmatov–Vrudhula battery tends to the ideal one and
+    battery-aware ordering stops mattering.  This sweep re-runs the
+    paper's comparison (ours vs the energy-DP baseline) across beta and
+    shows the win shrinking toward zero — the regime boundary the paper
+    never maps. *)
+
+val name : string
+
+val run : unit -> string

@@ -1,0 +1,8 @@
+(** Supporting experiment: demonstrate that the battery substrate
+    exhibits the two nonlinear effects the paper's heuristic exploits
+    (Sec. 3) — the rate-capacity effect, the recovery effect, and the
+    decreasing-current ordering theorem. *)
+
+val name : string
+
+val run : unit -> string

@@ -1,0 +1,101 @@
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_battery
+
+let name = "endurance"
+
+(* A three-cell pack: cycle counts land around ten, where per-cycle
+   policy differences compound visibly without hundred-cycle horizons.
+   (One Itsy cell sustains only 2-3 G2 missions; 40% degradation kills
+   even the first, since one mission's sigma peak is ~19k mA*min.) *)
+let cell =
+  Cell.make ~label:"itsy-pack-3" ~alpha:(3.0 *. Cell.itsy.Cell.alpha)
+    ~beta:Cell.itsy.Cell.beta
+
+let model = Cell.model cell
+
+let deadline = 75.0
+
+let profiles () =
+  let g = Instances.g2 in
+  let iterative =
+    let cfg = Batsched.Config.make ~model ~deadline () in
+    Schedule.to_profile g (Batsched.Iterate.run cfg g).Batsched.Iterate.schedule
+  in
+  let dp =
+    Schedule.to_profile g
+      (Batsched_baselines.Dp_energy.run ~model g ~deadline)
+        .Batsched_baselines.Solution.schedule
+  in
+  let chowdhury =
+    Schedule.to_profile g
+      (Batsched_baselines.Chowdhury.run ~model g ~deadline)
+        .Batsched_baselines.Solution.schedule
+  in
+  [ ("iterative", iterative); ("dp-energy", dp); ("chowdhury", chowdhury) ]
+
+let cycles cycle ~period =
+  match
+    Periodic.cycles_to_death ~max_cycles:200 ~model ~alpha:cell.Cell.alpha
+      ~period cycle
+  with
+  | n -> n
+  | exception Periodic.Unsustainable -> 0
+
+let run () =
+  let named = profiles () in
+  let periods = [ 75.0; 90.0; 120.0; 180.0 ] in
+  let rows =
+    List.map
+      (fun (label, cycle) ->
+        let charge = Profile.total_charge cycle in
+        let budget = cell.Cell.alpha /. charge in
+        label
+        :: Tables.f0 charge
+        :: Printf.sprintf "%.1f" budget
+        :: List.map
+             (fun period -> string_of_int (cycles cycle ~period))
+             periods)
+      named
+  in
+  let headers =
+    "schedule" :: "chg/cycle" :: "chg budget"
+    :: List.map (fun p -> Printf.sprintf "@%.0fmin" p) periods
+  in
+  let iterative_cycle = List.assoc "iterative" named in
+  let c label period = cycles (List.assoc label named) ~period in
+  Printf.sprintf
+    "Periodic G2 missions (d = %.0f) on a three-cell pack \
+     (alpha = %.0f mA*min): complete cycles before battery death\n%s\n\
+     \"chg budget\" = alpha / charge-per-cycle, the ideal-battery cycle \
+     ceiling.\n\
+     finding: over repeated missions the energy-DP baseline (least \
+     charge per cycle) OUTLASTS the paper's sigma-minimizing schedule \
+     (%d vs %d cycles) — sigma rewards within-mission recovery that \
+     stops mattering once missions repeat, so single-shot sigma is the \
+     wrong endurance objective.  Chowdhury, which burns the most charge \
+     per cycle, dies first (%d cycles).\n\
+     shape checks: cycle counts track the charge budget ordering: %b; \
+     cycles non-decreasing in the period: %b; every count is below its \
+     ideal ceiling: %b\n"
+    deadline cell.Cell.alpha
+    (Tables.render ~headers ~rows)
+    (c "dp-energy" 75.0) (c "iterative" 75.0) (c "chowdhury" 75.0)
+    (List.for_all
+       (fun period ->
+         c "dp-energy" period >= c "iterative" period
+         && c "iterative" period >= c "chowdhury" period)
+       periods)
+    (let cs = List.map (fun p -> cycles iterative_cycle ~period:p) periods in
+     let rec nondec = function
+       | a :: (b :: _ as rest) -> a <= b && nondec rest
+       | _ -> true
+     in
+     nondec cs)
+    (List.for_all
+       (fun (label, cycle) ->
+         let budget = cell.Cell.alpha /. Profile.total_charge cycle in
+         List.for_all
+           (fun period -> float_of_int (c label period) <= budget)
+           periods)
+       named)

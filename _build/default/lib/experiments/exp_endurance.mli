@@ -1,0 +1,11 @@
+(** Extension experiment: periodic-mission endurance.
+
+    Repeats the G2 robotic-arm mission every period on a degraded Itsy
+    cell and counts complete cycles before battery death, for the
+    iterative scheduler and both published baselines.  Also sweeps the
+    period to expose the recovery dividend: longer rest between
+    missions buys extra cycles beyond the plain charge budget. *)
+
+val name : string
+
+val run : unit -> string

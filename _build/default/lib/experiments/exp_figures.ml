@@ -1,0 +1,114 @@
+open Batsched_taskgraph
+open Batsched_sched
+
+let name_table1 = "table1"
+let name_fig3 = "fig3"
+let name_fig4 = "fig4"
+let name_fig5 = "fig5"
+
+let data_rows g =
+  List.map
+    (fun (t : Task.t) ->
+      let cells =
+        Array.to_list t.Task.points
+        |> List.concat_map (fun (p : Task.design_point) ->
+               [ Tables.f0 p.Task.current; Tables.f1 p.Task.duration ])
+      in
+      let parents =
+        Graph.preds g t.Task.id
+        |> List.map (fun i -> (Graph.task g i).Task.name)
+        |> String.concat ","
+      in
+      (t.Task.name :: cells) @ [ (if parents = "" then "-" else parents) ])
+    (Graph.tasks g)
+
+let data_headers g =
+  let m = Graph.num_points g in
+  ("Task"
+   :: List.concat_map
+        (fun j -> [ Printf.sprintf "I%d mA" (j + 1); Printf.sprintf "D%d min" (j + 1) ])
+        (List.init m Fun.id))
+  @ [ "Parents" ]
+
+(* The paper: G3 currents are proportional to the cube of the voltage
+   scaling factor.  Verify column by column against column 0. *)
+let cube_consistency g factors =
+  let worst = ref 0.0 in
+  List.iter
+    (fun (t : Task.t) ->
+      List.iteri
+        (fun j f ->
+          let expected = (Task.fastest t).Task.current *. (f ** 3.0) in
+          let actual = (Task.point t j).Task.current in
+          let rel = Float.abs (actual -. expected) /. expected in
+          if rel > !worst then worst := rel)
+        factors)
+    (Graph.tasks g);
+  !worst
+
+let run_table1 () =
+  let g = Instances.g3 in
+  let worst = cube_consistency g Designpoints.g3_factors in
+  Printf.sprintf
+    "Table 1 reproduction: G3 input data (15 tasks, 5 design points)\n%s\n\
+     cube-law consistency: currents match I1 * s^3 within %.1f%% \
+     (paper's stated generation rule; residual is table rounding)\n"
+    (Tables.render ~headers:(data_headers g) ~rows:(data_rows g))
+    (100.0 *. worst)
+
+let run_fig3 () =
+  let m = 4 and tasks = 5 in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 3 reproduction: window masking over 5 tasks x 4 design points\n";
+  List.iter
+    (fun ws ->
+      Buffer.add_string buf (Printf.sprintf "\nWindow %d:%d\n" (ws + 1) m);
+      for _row = 1 to tasks do
+        for j = 0 to m - 1 do
+          if j >= ws then Buffer.add_string buf (Printf.sprintf " DP%d " (j + 1))
+          else Buffer.add_string buf " ... "
+        done;
+        Buffer.add_char buf '\n'
+      done)
+    [ 0; 1; 2 ];
+  Buffer.contents buf
+
+let run_fig4 () =
+  (* Reconstruct Figure 4-c: five tasks, four design points; T5 fixed at
+     DP4 and T4 at DP1 (both outside the free set), T3 tagged; the free
+     tasks are T1 at DP2 and T2 at DP4.  Eqs. 2-3 then give
+     f = 1/3, F4 = 1/2, F2 = 1/2, DPF = 1/3. *)
+  let pairs =
+    [ (800.0, 2.0); (400.0, 4.0); (200.0, 6.0); (100.0, 8.0) ]
+  in
+  let tasks =
+    List.init 5 (fun id ->
+        Task.of_pairs ~id ~name:(Printf.sprintf "T%d" (id + 1)) pairs)
+  in
+  let g = Graph.make ~label:"fig4" ~edges:[] tasks in
+  (* columns are 0-based: DP2 = 1, DP4 = 3, DP1 = 0 *)
+  let a = Assignment.of_list g [ 1; 3; 1; 0; 3 ] in
+  let dpf = Metrics.dpf_static g a ~free:[ 0; 1 ] ~window_start:0 in
+  Printf.sprintf
+    "Figure 4 reproduction: worked DPF example\n\
+     state: T5 fixed at DP4, T4 fixed at DP1, T3 tagged at DP2;\n\
+     free tasks: T1 at DP2, T2 at DP4 (window 1:4)\n\
+     DPF = %.6f (paper: 1/3 = 0.333333) -> %s\n"
+    dpf
+    (if Float.abs (dpf -. (1.0 /. 3.0)) < 1e-9 then "MATCH" else "MISMATCH")
+
+let run_fig5 () =
+  let g = Instances.g2 in
+  let edges =
+    Graph.edges g
+    |> List.map (fun (a, b) ->
+           Printf.sprintf "%s->%s" (Graph.task g a).Task.name
+             (Graph.task g b).Task.name)
+    |> String.concat " "
+  in
+  Printf.sprintf
+    "Figure 5 reproduction: G2 robotic-arm controller (9 tasks, 4 design points)\n\
+     %s\nedges (reconstructed, see DESIGN.md): %s\n\nDOT:\n%s"
+    (Tables.render ~headers:(data_headers g) ~rows:(data_rows g))
+    edges (Textio.to_dot g)

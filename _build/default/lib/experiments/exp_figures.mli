@@ -1,0 +1,20 @@
+(** Reproductions of the paper's data table and illustrative figures:
+
+    - [table1]: echo of the G3 input data plus a consistency check of
+      the cube scaling law the paper says generated it;
+    - [fig3]: the window-masking illustration (5 tasks x 4 design
+      points, three windows);
+    - [fig4]: the worked DPF example — the state of Figure 4-c must
+      yield DPF = 1/3;
+    - [fig5]: the G2 case-study graph (data echo plus the reconstructed
+      edge set and a DOT rendering). *)
+
+val name_table1 : string
+val name_fig3 : string
+val name_fig4 : string
+val name_fig5 : string
+
+val run_table1 : unit -> string
+val run_fig3 : unit -> string
+val run_fig4 : unit -> string
+val run_fig5 : unit -> string

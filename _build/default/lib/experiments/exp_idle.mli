@@ -1,0 +1,10 @@
+(** Extension experiment: recovery-aware idle insertion.
+
+    Takes the iterative algorithm's schedule at each published
+    (graph, deadline) point and distributes the leftover slack as
+    inter-task rest via {!Batsched.Idle.optimize}, reporting the extra
+    battery capacity reclaimed purely from gap placement. *)
+
+val name : string
+
+val run : unit -> string

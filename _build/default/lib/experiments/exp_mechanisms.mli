@@ -1,0 +1,19 @@
+(** Extension experiment: what the paper's two distinctive mechanisms
+    actually buy.
+
+    The algorithm differs from earlier heuristics in two ways: the
+    narrow-to-wide {e window sweep} over design-point columns, and the
+    {e iterative resequencing} by subtree current (Eq. 4).  This
+    knockout study disables each in turn on the six published
+    (graph, deadline) points:
+
+    - "full window only" replaces the sweep with a single full-matrix
+      evaluation;
+    - "one iteration" stops before any Eq. 4 resequencing
+      ([max_iterations = 1]);
+    - "neither" disables both — a single greedy pass, essentially the
+      complexity class of the Chowdhury heuristic. *)
+
+val name : string
+
+val run : unit -> string

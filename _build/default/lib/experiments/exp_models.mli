@@ -1,0 +1,13 @@
+(** Extension experiment: robustness to the battery model.
+
+    The paper optimizes and evaluates with the Rakhmatov–Vrudhula model
+    only.  Here the schedules produced against RV are re-evaluated under
+    KiBaM, Peukert and the ideal battery, and the algorithm is also
+    re-run optimizing directly against each model, answering two
+    questions: (a) does the RV-optimized schedule stay better than the
+    energy-DP baseline under other models?  (b) how much is lost by
+    optimizing against the "wrong" model? *)
+
+val name : string
+
+val run : unit -> string

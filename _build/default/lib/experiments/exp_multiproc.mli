@@ -1,0 +1,13 @@
+(** Extension experiment: several processing elements, one battery
+    (the Luo & Jha setting the paper cites as related work).
+
+    Runs G3 on 1..3 identical PEs across deadlines, comparing a
+    latency-oriented schedule (all fastest), Chowdhury-style slack
+    downscaling, and the battery-aware variant.  Parallelism cuts the
+    makespan floor, freeing slack for slower design points — but
+    concurrent currents add, so the battery does not simply improve
+    with more PEs. *)
+
+val name : string
+
+val run : unit -> string

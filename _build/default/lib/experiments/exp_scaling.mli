@@ -1,0 +1,11 @@
+(** Extension experiment: how the algorithms scale with task count.
+
+    Wall-clock here is indicative ([Sys.time]-based); the rigorous
+    timing benches live in [bench/main.ml] (Bechamel).  The interesting
+    structural output is the iteration count and per-size sigma of the
+    iterative algorithm vs the one-shot baselines. *)
+
+val name : string
+
+val run : ?seed:int -> unit -> string
+(** Fork-join families from 11 to ~51 tasks. *)

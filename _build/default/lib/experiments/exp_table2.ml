@@ -1,0 +1,33 @@
+open Batsched_taskgraph
+open Batsched_sched
+
+let name = "table2"
+
+let seq_names g seq =
+  String.concat "," (List.map (fun i -> (Graph.task g i).Task.name) seq)
+
+let dp_row (a : Assignment.t) seq =
+  String.concat ","
+    (List.map (fun i -> Printf.sprintf "P%d" (Assignment.column a i + 1)) seq)
+
+let run () =
+  let g = Instances.g3 in
+  let cfg = Batsched.Config.make ~deadline:Instances.g3_deadline () in
+  let result = Batsched.Iterate.run cfg g in
+  let rows =
+    List.concat_map
+      (fun (it : Batsched.Iterate.iteration) ->
+        let best = it.windows.Batsched.Window.best in
+        [ [ string_of_int it.index;
+            Printf.sprintf "S%d" it.index;
+            seq_names g it.sequence ];
+          [ ""; "DP"; dp_row best.Batsched.Window.assignment it.sequence ];
+          [ "";
+            Printf.sprintf "S%dw" it.index;
+            seq_names g it.weighted_sequence ] ])
+      result.iterations
+  in
+  Printf.sprintf
+    "Table 2 reproduction: task sequences of G3 per iteration (d = %.0f)\n%s"
+    Instances.g3_deadline
+    (Tables.render ~headers:[ "Iter"; "Seq No"; "Task sequence / design points" ] ~rows)

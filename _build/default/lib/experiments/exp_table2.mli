@@ -1,0 +1,9 @@
+(** Reproduction of Table 2: the task sequences and design-point
+    assignments generated in each iteration of the algorithm on G3
+    (deadline 230, beta 0.273). *)
+
+val name : string
+
+val run : unit -> string
+(** Render the per-iteration sequences (S<i>), the winning window's DP
+    row in sequence order, and the weighted sequences (S<i>w). *)

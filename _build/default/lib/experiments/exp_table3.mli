@@ -1,0 +1,9 @@
+(** Reproduction of Table 3: battery capacity sigma (mA*min) and
+    schedule length Delta (min) per window per iteration on G3, plus the
+    running minimum — including the shape checks the paper's narrative
+    makes (monotone improvement, termination on non-improvement, all
+    schedules meet the deadline). *)
+
+val name : string
+
+val run : unit -> string

@@ -1,0 +1,20 @@
+(** Reproduction of Table 4: battery capacity used by our algorithm vs
+    the energy-DP baseline (the paper's ref. [1]) on G2 and G3 across
+    three deadlines each, with the published numbers alongside. *)
+
+val name : string
+
+type row = {
+  graph : string;
+  deadline : float;
+  ours : float;
+  baseline : float;
+  diff_pct : float;        (** (baseline - ours)/ours * 100 *)
+  paper_ours : float;
+  paper_baseline : float;
+}
+
+val compute : unit -> row list
+(** The six comparison points, in paper order. *)
+
+val run : unit -> string

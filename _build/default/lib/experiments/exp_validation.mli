@@ -1,0 +1,13 @@
+(** Substrate-validation experiment: the analytical battery model
+    (the paper's Eq. 1) against a first-principles finite-difference
+    simulation of the diffusion PDE it was derived from.
+
+    Demonstrates (a) that the Eq. 1 implementation converges to the PDE
+    as the series is extended, (b) how much apparent charge the paper's
+    10-term truncation drops during active discharge, and (c) that the
+    truncation bias largely cancels when {e comparing} schedules, which
+    is why the scheduler's decisions are unaffected. *)
+
+val name : string
+
+val run : unit -> string

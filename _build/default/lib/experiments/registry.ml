@@ -1,0 +1,68 @@
+type experiment = {
+  name : string;
+  title : string;
+  run : unit -> string;
+}
+
+let all =
+  [ { name = Exp_figures.name_table1;
+      title = "Table 1: G3 input data + generation-law check";
+      run = Exp_figures.run_table1 };
+    { name = Exp_table2.name;
+      title = "Table 2: per-iteration sequences and design points (G3)";
+      run = Exp_table2.run };
+    { name = Exp_table3.name;
+      title = "Table 3: per-window sigma/Delta per iteration (G3)";
+      run = Exp_table3.run };
+    { name = Exp_table4.name;
+      title = "Table 4: ours vs the energy-DP baseline on G2 and G3";
+      run = Exp_table4.run };
+    { name = Exp_figures.name_fig3;
+      title = "Figure 3: window masking illustration";
+      run = Exp_figures.run_fig3 };
+    { name = Exp_figures.name_fig4;
+      title = "Figure 4: worked DPF example (DPF = 1/3)";
+      run = Exp_figures.run_fig4 };
+    { name = Exp_figures.name_fig5;
+      title = "Figure 5: G2 robotic-arm controller data and graph";
+      run = Exp_figures.run_fig5 };
+    { name = Exp_curves.name;
+      title = "Battery model behaviour: rate capacity, recovery, ordering";
+      run = Exp_curves.run };
+    { name = Exp_validation.name;
+      title = "Eq. 1 vs the diffusion PDE (first-principles check)";
+      run = Exp_validation.run };
+    { name = Exp_ablation.name;
+      title = "Ablation of the B = SR+CR+ENR+CIF+DPF objective";
+      run = Exp_ablation.run };
+    { name = Exp_mechanisms.name;
+      title = "Knockout of the window sweep and the resequencing loop";
+      run = Exp_mechanisms.run };
+    { name = Exp_models.name;
+      title = "Cross-model robustness (RV / KiBaM / Peukert / ideal)";
+      run = Exp_models.run };
+    { name = Exp_idle.name;
+      title = "Recovery-aware idle insertion";
+      run = Exp_idle.run };
+    { name = Exp_beta.name;
+      title = "Beta sensitivity: where battery-awareness stops paying";
+      run = Exp_beta.run };
+    { name = Exp_endurance.name;
+      title = "Periodic-mission endurance on a degraded cell";
+      run = Exp_endurance.run };
+    { name = Exp_platform.name;
+      title = "Prediction vs execution on a StrongARM-class platform";
+      run = Exp_platform.run };
+    { name = Exp_multiproc.name;
+      title = "Several PEs, one battery (Luo & Jha setting)";
+      run = Exp_multiproc.run };
+    { name = Exp_baselines.name;
+      title = "Four-way comparison + optimality gaps";
+      run = (fun () -> Exp_baselines.run ()) };
+    { name = Exp_scaling.name;
+      title = "Scaling with task count";
+      run = (fun () -> Exp_scaling.run ()) } ]
+
+let find n = List.find_opt (fun e -> e.name = n) all
+
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,16 @@
+(** Registry of all reproducible experiments, keyed by the experiment
+    ids used in DESIGN.md and EXPERIMENTS.md. *)
+
+type experiment = {
+  name : string;     (** id, e.g. "table3" *)
+  title : string;    (** one-line description *)
+  run : unit -> string;  (** produce the full report *)
+}
+
+val all : experiment list
+(** Every experiment, in the DESIGN.md index order. *)
+
+val find : string -> experiment option
+(** Look an experiment up by id. *)
+
+val names : string list

@@ -1,0 +1,51 @@
+let f1 x = Printf.sprintf "%.1f" x
+
+let f0 x = Printf.sprintf "%.0f" x
+
+let pct x = Printf.sprintf "%+.1f%%" x
+
+let render ~headers ~rows =
+  if headers = [] then invalid_arg "Tables.render: empty headers";
+  let cols = List.length headers in
+  let pad row =
+    let len = List.length row in
+    if len > cols then invalid_arg "Tables.render: row longer than header"
+    else row @ List.init (cols - len) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line c =
+    let parts =
+      Array.to_list (Array.map (fun w -> String.make (w + 2) c) widths)
+    in
+    "+" ^ String.concat "+" parts ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> Printf.sprintf " %-*s " widths.(i) cell)
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** [render ~headers ~rows] draws a boxed table with padded columns.
+    Rows shorter than the header are padded with empty cells; longer
+    rows raise.
+    @raise Invalid_argument on empty headers or an over-long row. *)
+
+val f1 : float -> string
+(** Fixed 1-decimal rendering ("228.3"). *)
+
+val f0 : float -> string
+(** Rounded integer rendering ("16353"). *)
+
+val pct : float -> string
+(** Signed percentage with one decimal ("+15.6%"). *)

@@ -1,0 +1,1 @@
+lib/multiproc/mheuristics.ml: Analysis Array Assignment Batsched_numeric Batsched_sched Batsched_taskgraph Float Fun Graph Kahan List Mschedule Option Task

@@ -1,0 +1,1 @@
+lib/multiproc/mheuristics.mli: Batsched_battery Batsched_taskgraph Graph Model Mschedule

@@ -1,0 +1,1 @@
+lib/multiproc/mschedule.ml: Array Assignment Batsched_battery Batsched_sched Batsched_taskgraph Float Format Fun Graph List Model Profile Task

@@ -1,0 +1,1 @@
+lib/multiproc/mschedule.mli: Assignment Batsched_battery Batsched_sched Batsched_taskgraph Format Graph Model Profile

@@ -1,0 +1,120 @@
+open Batsched_numeric
+open Batsched_taskgraph
+open Batsched_sched
+
+exception Infeasible
+
+(* downward rank at fastest speed: critical-path length from v to a
+   sink, the classic list-scheduling priority *)
+let downward_rank g =
+  let n = Graph.num_tasks g in
+  let rank = Array.make n Float.nan in
+  let rec compute v =
+    if Float.is_nan rank.(v) then begin
+      let own = (Task.fastest (Graph.task g v)).Task.duration in
+      let tail =
+        List.fold_left
+          (fun acc u -> compute u; Float.max acc rank.(u))
+          0.0 (Graph.succs g v)
+      in
+      rank.(v) <- own +. tail
+    end
+  in
+  for v = 0 to n - 1 do
+    compute v
+  done;
+  fun v -> rank.(v)
+
+let subtree_current g assignment v =
+  Kahan.sum_list
+    (List.map
+       (fun u -> (Assignment.chosen_point g assignment u).Task.current)
+       (Analysis.descendants g v))
+
+let build g ~pes ~assignment ~priority =
+  Mschedule.list_schedule g ~pes ~assignment ~priority
+
+let makespan_fastest g ~pes =
+  let assignment = Assignment.all_fastest g in
+  build g ~pes ~assignment ~priority:(downward_rank g)
+
+(* Walk tasks latest-finish-first, committing for each the column chosen
+   by [pick] from the feasible candidates (current column included).
+   [pick] sees (column, schedule) pairs whose makespan fits. *)
+let downscale_walk g ~pes ~deadline ~priority ~pick =
+  let m = Graph.num_points g in
+  let fastest = makespan_fastest g ~pes in
+  if Mschedule.makespan g fastest > deadline +. 1e-9 then raise Infeasible;
+  let assignment = ref (Assignment.all_fastest g) in
+  let schedule = ref (build g ~pes ~assignment:!assignment ~priority) in
+  let order =
+    (* latest finish first under the all-fastest schedule *)
+    let finish i =
+      let p = Mschedule.placement fastest i in
+      p.Mschedule.start +. Mschedule.task_duration g pes i p
+    in
+    List.sort
+      (fun a b -> compare (finish b) (finish a))
+      (List.init (Graph.num_tasks g) Fun.id)
+  in
+  List.iter
+    (fun i ->
+      let candidates =
+        List.filter_map
+          (fun j ->
+            let trial = Assignment.set !assignment i j in
+            let sched = build g ~pes ~assignment:trial ~priority in
+            if Mschedule.makespan g sched <= deadline +. 1e-9 then
+              Some (j, trial, sched)
+            else None)
+          (List.init m Fun.id)
+      in
+      match pick candidates with
+      | Some (_, trial, sched) ->
+          assignment := trial;
+          schedule := sched
+      | None -> ())
+    order;
+  (!assignment, !schedule)
+
+let slack_downscale g ~pes ~deadline =
+  let priority = downward_rank g in
+  let pick candidates =
+    (* slowest feasible column *)
+    List.fold_left
+      (fun acc ((j, _, _) as c) ->
+        match acc with
+        | Some (bj, _, _) when bj >= j -> acc
+        | _ -> Some c)
+      None candidates
+  in
+  snd (downscale_walk g ~pes ~deadline ~priority ~pick)
+
+let battery_aware ~model g ~pes ~deadline =
+  let priority = downward_rank g in
+  let pick candidates =
+    (* least sigma among feasible columns; ties to the slower column
+       (candidates arrive fastest first, so strict improvement keeps
+       the later = slower one via >=) *)
+    List.fold_left
+      (fun acc ((_, _, sched) as c) ->
+        let s = Mschedule.battery_cost ~model g sched in
+        match acc with
+        | Some (_, bs) when bs < s -> acc
+        | _ -> Some (c, s))
+      None candidates
+    |> Option.map fst
+  in
+  let assignment, sched = downscale_walk g ~pes ~deadline ~priority ~pick in
+  (* re-sequence by subtree current with the chosen columns; keep the
+     better of the two schedules *)
+  let resequenced =
+    build g ~pes ~assignment
+      ~priority:(fun v -> subtree_current g assignment v)
+  in
+  if
+    Mschedule.makespan g resequenced <= deadline +. 1e-9
+    && Mschedule.battery_cost ~model g resequenced
+       < Mschedule.battery_cost ~model g sched
+  then resequenced
+  else sched

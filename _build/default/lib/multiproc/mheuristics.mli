@@ -1,0 +1,34 @@
+(** Multiprocessor battery-aware heuristics.
+
+    Three policies of increasing battery awareness, all built on
+    {!Mschedule.list_schedule} over a given PE set (identical or
+    heterogeneous):
+
+    - [makespan_fastest]: every task at its fastest point, priority =
+      downward rank (critical-path length at fastest speed) — the
+      classic latency-oriented baseline.
+    - [slack_downscale]: start from [makespan_fastest] and, walking
+      tasks by {e latest finish first}, move each to the slowest column
+      that keeps the makespan within the deadline — the
+      Chowdhury-style policy lifted to several PEs.
+    - [battery_aware]: like [slack_downscale], but each walk step keeps
+      the feasible column with the least sigma under the supplied
+      battery model, and the final schedule is re-sequenced by subtree
+      current (the paper's Eq. 4 weight) when that helps. *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+exception Infeasible
+(** Even all-fastest on the given PEs misses the deadline. *)
+
+val makespan_fastest : Graph.t -> pes:Mschedule.Pe.t array -> Mschedule.t
+
+val slack_downscale :
+  Graph.t -> pes:Mschedule.Pe.t array -> deadline:float -> Mschedule.t
+(** @raise Infeasible. *)
+
+val battery_aware :
+  model:Model.t -> Graph.t -> pes:Mschedule.Pe.t array -> deadline:float ->
+  Mschedule.t
+(** @raise Infeasible. *)

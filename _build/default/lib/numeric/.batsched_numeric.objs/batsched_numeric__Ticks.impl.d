@@ -1,0 +1,1 @@
+lib/numeric/ticks.ml: Float Stdlib

@@ -1,0 +1,1 @@
+lib/numeric/tridiag.ml: Array Stdlib

@@ -1,0 +1,52 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  let pts = List.sort (fun (a, _) (b, _) -> compare a b) pts in
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Interp.of_points: need at least 2 points";
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  List.iteri (fun i (x, y) -> xs.(i) <- x; ys.(i) <- y) pts;
+  for i = 1 to n - 1 do
+    if xs.(i) = xs.(i - 1) then
+      invalid_arg "Interp.of_points: duplicate abscissa"
+  done;
+  { xs; ys }
+
+let of_arrays xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Interp.of_arrays: length mismatch";
+  of_points (List.init (Array.length xs) (fun i -> (xs.(i), ys.(i))))
+
+(* Binary search for the segment index i such that xs.(i) <= x < xs.(i+1);
+   clamped so boundary segments extend to infinity. *)
+let segment { xs; _ } x =
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let i = segment t x in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+  y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let domain { xs; _ } = (xs.(0), xs.(Array.length xs - 1))
+
+let points { xs; ys } = List.init (Array.length xs) (fun i -> (xs.(i), ys.(i)))
+
+let tabulate ~f ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Interp.tabulate: need n >= 2";
+  if lo >= hi then invalid_arg "Interp.tabulate: need lo < hi";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  of_points
+    (List.init n (fun i ->
+         let x = if i = n - 1 then hi else lo +. (float_of_int i *. step) in
+         (x, f x)))

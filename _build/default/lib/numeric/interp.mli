@@ -1,0 +1,32 @@
+(** Piecewise-linear interpolation over tabulated curves.
+
+    Used to tabulate and query discharge curves (capacity-vs-time,
+    sigma-vs-T) produced by the battery models. *)
+
+type t
+(** A tabulated curve: strictly increasing abscissae with ordinates. *)
+
+val of_points : (float * float) list -> t
+(** [of_points pts] builds a curve from [(x, y)] samples.  Points are
+    sorted by [x].
+    @raise Invalid_argument on fewer than 2 points or duplicate [x]. *)
+
+val of_arrays : float array -> float array -> t
+(** [of_arrays xs ys] builds a curve from parallel arrays.
+    @raise Invalid_argument on length mismatch (or the conditions of
+    {!of_points}). *)
+
+val eval : t -> float -> float
+(** [eval c x] linearly interpolates [c] at [x]; outside the tabulated
+    range the boundary segments are extrapolated. *)
+
+val domain : t -> float * float
+(** [domain c] is [(x_min, x_max)] of the tabulated support. *)
+
+val points : t -> (float * float) list
+(** [points c] returns the samples in increasing-[x] order. *)
+
+val tabulate : f:(float -> float) -> lo:float -> hi:float -> n:int -> t
+(** [tabulate ~f ~lo ~hi ~n] samples [f] at [n] equally spaced points
+    spanning [[lo, hi]] (inclusive) and builds a curve.
+    @raise Invalid_argument if [n < 2] or [lo >= hi]. *)

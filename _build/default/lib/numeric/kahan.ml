@@ -1,0 +1,26 @@
+type t = { total : float; compensation : float }
+
+let zero = { total = 0.0; compensation = 0.0 }
+
+let create x = { total = x; compensation = 0.0 }
+
+(* Neumaier's variant: unlike plain Kahan it also compensates when the
+   incoming term is larger in magnitude than the running total. *)
+let add { total; compensation } x =
+  let t = total +. x in
+  let c =
+    if Float.abs total >= Float.abs x then compensation +. ((total -. t) +. x)
+    else compensation +. ((x -. t) +. total)
+  in
+  { total = t; compensation = c }
+
+let sum { total; compensation } = total +. compensation
+
+let sum_list xs = sum (List.fold_left add zero xs)
+
+let sum_array xs = sum (Array.fold_left add zero xs)
+
+let sum_fn n f =
+  if n < 0 then invalid_arg "Kahan.sum_fn: negative count";
+  let rec loop i acc = if i >= n then acc else loop (i + 1) (add acc (f i)) in
+  sum (loop 0 zero)

@@ -1,0 +1,31 @@
+(** Compensated (Kahan–Neumaier) floating-point summation.
+
+    The Rakhmatov–Vrudhula charge function sums many exponential terms of
+    widely varying magnitude; naive accumulation loses precision for long
+    discharge profiles.  This module provides a small accumulator that
+    keeps a running compensation term. *)
+
+type t
+(** A summation accumulator.  Immutable; [add] returns a new accumulator. *)
+
+val zero : t
+(** The empty sum. *)
+
+val create : float -> t
+(** [create x] is an accumulator holding exactly [x]. *)
+
+val add : t -> float -> t
+(** [add acc x] adds [x] to the running sum with Neumaier compensation. *)
+
+val sum : t -> float
+(** [sum acc] is the compensated value of the accumulated sum. *)
+
+val sum_list : float list -> float
+(** [sum_list xs] is the compensated sum of [xs]. *)
+
+val sum_array : float array -> float
+(** [sum_array xs] is the compensated sum of [xs]. *)
+
+val sum_fn : int -> (int -> float) -> float
+(** [sum_fn n f] is the compensated sum of [f 0 + ... + f (n-1)].
+    @raise Invalid_argument if [n < 0]. *)

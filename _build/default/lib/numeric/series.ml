@@ -1,0 +1,35 @@
+let default_terms = 10
+
+let check_beta beta =
+  if not (beta > 0.0) then invalid_arg "Series: beta must be positive"
+
+let check_terms terms =
+  if terms <= 0 then invalid_arg "Series: terms must be positive"
+
+let exp_sum ?(terms = default_terms) ~beta t =
+  check_beta beta;
+  check_terms terms;
+  if t < 0.0 then invalid_arg "Series.exp_sum: negative time";
+  let b2 = beta *. beta in
+  let term i =
+    let m = float_of_int (i + 1) in
+    let m2 = m *. m in
+    exp (-.b2 *. m2 *. t) /. (b2 *. m2)
+  in
+  2.0 *. Kahan.sum_fn terms term
+
+let kernel ?(terms = default_terms) ~beta a b =
+  check_beta beta;
+  check_terms terms;
+  if a < 0.0 || b < a then invalid_arg "Series.kernel: need 0 <= a <= b";
+  let b2 = beta *. beta in
+  let term i =
+    let m = float_of_int (i + 1) in
+    let m2 = m *. m in
+    (exp (-.b2 *. m2 *. a) -. exp (-.b2 *. m2 *. b)) /. (b2 *. m2)
+  in
+  2.0 *. Kahan.sum_fn terms term
+
+let kernel_limit ~beta =
+  check_beta beta;
+  Float.pi *. Float.pi /. (3.0 *. beta *. beta)

@@ -1,0 +1,38 @@
+(** Evaluation of the exponential-sum kernel of the Rakhmatov–Vrudhula
+    battery model.
+
+    The model (Eq. 1 of the paper) needs, for each discharge interval,
+
+    {[ F(beta, a, b) = 2 * sum_{m=1..terms} (exp(-beta^2 m^2 a)
+                                           - exp(-beta^2 m^2 b))
+                                           / (beta^2 m^2) ]}
+
+    with [0 <= a <= b].  [F] is the "unavailable charge" contribution: it
+    measures how much of the charge drawn during an interval is
+    recovered by diffusion between the end of the interval ([a] time
+    units before the observation instant) and its start ([b] before it).
+
+    The paper truncates the series at 10 terms; callers can request more.
+    Terms decay like [exp(-beta^2 m^2 a)], so convergence is extremely
+    fast unless [a = 0]. *)
+
+val default_terms : int
+(** Number of series terms used by the paper (10). *)
+
+val exp_sum : ?terms:int -> beta:float -> float -> float
+(** [exp_sum ~beta t] is [2 * sum_{m=1..terms} exp(-beta^2 m^2 t)
+    / (beta^2 m^2)], the one-sided tail used to build {!kernel}.
+    [t] must be [>= 0].
+    @raise Invalid_argument on negative [t], non-positive [beta] or
+    non-positive [terms]. *)
+
+val kernel : ?terms:int -> beta:float -> float -> float -> float
+(** [kernel ~beta a b] is [F(beta, a, b)] above, computed with
+    compensated summation.  Requires [0 <= a <= b].
+    @raise Invalid_argument if the ordering constraint is violated. *)
+
+val kernel_limit : beta:float -> float
+(** [kernel_limit ~beta] is [lim_{b -> infinity} F(beta, 0, b)
+    = 2 * sum 1/(beta^2 m^2) = pi^2 / (3 beta^2)], the total
+    unavailable-charge ceiling for an instantaneous unit of load.
+    Useful as a sanity bound in tests. *)

@@ -1,0 +1,15 @@
+(** Tridiagonal linear systems (Thomas algorithm).
+
+    Used by the Crank–Nicolson diffusion solver that serves as the
+    physical reference for the analytical battery model. *)
+
+val solve :
+  lower:float array -> diag:float array -> upper:float array ->
+  rhs:float array -> float array
+(** [solve ~lower ~diag ~upper ~rhs] solves the [n x n] system with
+    [diag] (length [n]), [lower] (length [n-1], sub-diagonal) and
+    [upper] (length [n-1], super-diagonal).  The inputs are not
+    modified.  The algorithm does not pivot; it is stable for the
+    diagonally dominant systems produced by diffusion stencils.
+    @raise Invalid_argument on inconsistent lengths, [n = 0], or a zero
+    pivot. *)

@@ -1,0 +1,1 @@
+lib/platform/application.ml: Batsched_taskgraph Cpu Graph List Task

@@ -1,0 +1,1 @@
+lib/platform/application.mli: Batsched_taskgraph Cpu Graph

@@ -1,0 +1,1 @@
+lib/platform/cpu.mli: Batsched_taskgraph

@@ -1,0 +1,1 @@
+lib/platform/executor.ml: Application Array Assignment Batsched_battery Batsched_sched Batsched_taskgraph Cpu Float Graph List Profile Schedule Task

@@ -1,0 +1,1 @@
+lib/platform/executor.mli: Application Batsched_battery Batsched_sched Cpu Profile Schedule

@@ -1,0 +1,66 @@
+type op_point = {
+  voltage : float;
+  frequency_mhz : float;
+}
+
+type t = {
+  name : string;
+  points : op_point array;
+  i_dynamic : float;
+  i_base : float;
+  transition_latency : float;
+  transition_charge : float;
+}
+
+let make ?(i_base = 0.0) ?(transition_latency = 0.0) ?(transition_charge = 0.0)
+    ~name ~i_dynamic points =
+  if points = [] then invalid_arg "Cpu.make: no operating points";
+  List.iter
+    (fun p ->
+      if not (p.voltage > 0.0) then invalid_arg "Cpu.make: voltage <= 0";
+      if not (p.frequency_mhz > 0.0) then invalid_arg "Cpu.make: frequency <= 0")
+    points;
+  if not (i_dynamic > 0.0) then invalid_arg "Cpu.make: i_dynamic <= 0";
+  if i_base < 0.0 then invalid_arg "Cpu.make: i_base < 0";
+  if transition_latency < 0.0 then invalid_arg "Cpu.make: transition latency < 0";
+  if transition_charge < 0.0 then invalid_arg "Cpu.make: transition charge < 0";
+  let arr = Array.of_list points in
+  Array.sort (fun a b -> compare b.frequency_mhz a.frequency_mhz) arr;
+  for j = 1 to Array.length arr - 1 do
+    if arr.(j).frequency_mhz = arr.(j - 1).frequency_mhz then
+      invalid_arg "Cpu.make: duplicate frequencies"
+  done;
+  { name; points = arr; i_dynamic; i_base; transition_latency; transition_charge }
+
+let strongarm =
+  make ~name:"sa1100" ~i_dynamic:230.0 ~i_base:30.0
+    [ { voltage = 1.5; frequency_mhz = 221.0 };
+      { voltage = 1.3; frequency_mhz = 192.0 };
+      { voltage = 1.15; frequency_mhz = 162.0 };
+      { voltage = 0.95; frequency_mhz = 133.0 };
+      { voltage = 0.79; frequency_mhz = 59.0 } ]
+
+let num_points cpu = Array.length cpu.points
+
+let point cpu j =
+  if j < 0 || j >= num_points cpu then invalid_arg "Cpu: point index out of range";
+  cpu.points.(j)
+
+let current_at cpu j =
+  let p = point cpu j and r = cpu.points.(0) in
+  cpu.i_base
+  +. cpu.i_dynamic
+     *. (p.voltage /. r.voltage) *. (p.voltage /. r.voltage)
+     *. (p.frequency_mhz /. r.frequency_mhz)
+
+let duration_of cpu j ~megacycles =
+  if not (megacycles > 0.0) then invalid_arg "Cpu.duration_of: megacycles <= 0";
+  let p = point cpu j in
+  (* megacycles / (MHz * 60) = minutes *)
+  megacycles /. (p.frequency_mhz *. 60.0)
+
+let design_points cpu ~megacycles =
+  List.init (num_points cpu) (fun j ->
+      { Batsched_taskgraph.Task.current = current_at cpu j;
+        duration = duration_of cpu j ~megacycles;
+        voltage = (point cpu j).voltage })

@@ -1,0 +1,57 @@
+(** A voltage/frequency-scalable processor model.
+
+    The paper assumes per-design-point current and time {e estimates}
+    exist; this module is the estimator.  A CPU exposes discrete
+    operating points (voltage, clock).  Platform current at an
+    operating point follows the classic DVS first-order model the
+    paper's data generation implies:
+
+    {[ I(V, f) = I_base + I_dyn * (V / V_ref)^2 * (f / f_ref) ]}
+
+    With frequency proportional to voltage (the scaling the paper
+    uses), current scales with the cube of the voltage ratio on top of
+    a base floor for memory/display — reproducing both the cube law
+    and its deviation at low power.  A task of [w] megacycles runs for
+    [w / f] time at clock [f]. *)
+
+type op_point = {
+  voltage : float;         (** volts, > 0 *)
+  frequency_mhz : float;   (** MHz, > 0 *)
+}
+
+type t = private {
+  name : string;
+  points : op_point array;   (** sorted fastest (highest clock) first *)
+  i_dynamic : float;         (** dynamic current at the reference point, mA *)
+  i_base : float;            (** platform floor current, mA, >= 0 *)
+  transition_latency : float;(** minutes lost per operating-point switch *)
+  transition_charge : float; (** mA*min drawn per switch *)
+}
+
+val make :
+  ?i_base:float -> ?transition_latency:float -> ?transition_charge:float ->
+  name:string -> i_dynamic:float -> op_point list -> t
+(** [make ~name ~i_dynamic points] validates and sorts the operating
+    points (reference = the fastest).  Defaults: no base current, free
+    transitions.
+    @raise Invalid_argument on empty points, non-positive fields, or
+    duplicate frequencies. *)
+
+val strongarm : t
+(** An SA-1100-class CPU (the Itsy's processor): 59–221 MHz over
+    0.79–1.5 V in five steps, ~230 mA dynamic at full speed, 30 mA
+    platform floor. *)
+
+val num_points : t -> int
+
+val current_at : t -> int -> float
+(** Platform current (mA) at operating-point index [j] (0 = fastest).
+    @raise Invalid_argument if out of range. *)
+
+val duration_of : t -> int -> megacycles:float -> float
+(** Execution time in minutes of [megacycles] at point [j].
+    @raise Invalid_argument on non-positive megacycles or bad index. *)
+
+val design_points : t -> megacycles:float -> Batsched_taskgraph.Task.design_point list
+(** The (current, duration, voltage) triples a task of this size
+    exposes on this CPU — the bridge into the scheduler's data model. *)

@@ -1,0 +1,97 @@
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_battery
+
+type event = {
+  task : int;
+  op_index : int;
+  start : float;
+  finish : float;
+  current : float;
+}
+
+type run = {
+  events : event list;
+  profile : Profile.t;
+  finish : float;
+  transitions : int;
+  overhead_time : float;
+  overhead_charge : float;
+}
+
+let execute app ~cpu ~(schedule : Schedule.t) =
+  let workloads = Array.of_list (Application.workloads app) in
+  let n = Array.length workloads in
+  if List.length schedule.Schedule.sequence <> n then
+    invalid_arg "Executor.execute: task count mismatch";
+  let clock = ref 0.0 in
+  let events = ref [] in
+  let transitions = ref 0 in
+  let overhead_time = ref 0.0 in
+  let overhead_charge = ref 0.0 in
+  let current_op = ref None in
+  List.iter
+    (fun i ->
+      let j = Assignment.column schedule.Schedule.assignment i in
+      if j >= Cpu.num_points cpu then
+        invalid_arg "Executor.execute: operating point out of range";
+      (match !current_op with
+      | Some op when op <> j ->
+          (* switch operating points before the task starts *)
+          incr transitions;
+          let lat = cpu.Cpu.transition_latency in
+          let chg = cpu.Cpu.transition_charge in
+          if lat > 0.0 || chg > 0.0 then begin
+            let current = if lat > 0.0 then chg /. lat else 0.0 in
+            if lat > 0.0 then
+              events :=
+                { task = -1; op_index = j; start = !clock;
+                  finish = !clock +. lat; current }
+                :: !events;
+            overhead_time := !overhead_time +. lat;
+            overhead_charge := !overhead_charge +. chg;
+            clock := !clock +. lat
+          end
+      | _ -> ());
+      current_op := Some j;
+      let megacycles = workloads.(i).Application.megacycles in
+      let duration = Cpu.duration_of cpu j ~megacycles in
+      let current = Cpu.current_at cpu j in
+      events :=
+        { task = i; op_index = j; start = !clock;
+          finish = !clock +. duration; current }
+        :: !events;
+      clock := !clock +. duration)
+    schedule.Schedule.sequence;
+  let events = List.rev !events in
+  let profile =
+    Profile.of_intervals
+      (List.filter_map
+         (fun e ->
+           if e.current > 0.0 then Some (e.start, e.finish -. e.start, e.current)
+           else None)
+         events)
+  in
+  { events;
+    profile;
+    finish = !clock;
+    transitions = !transitions;
+    overhead_time = !overhead_time;
+    overhead_charge = !overhead_charge }
+
+let validate_against_analytic app ~cpu ~(schedule : Schedule.t) =
+  let g = Application.compile app ~cpu in
+  let run = execute app ~cpu ~schedule in
+  List.fold_left
+    (fun acc e ->
+      if e.task < 0 then acc
+      else begin
+        let p = Task.point (Graph.task g e.task) e.op_index in
+        let rel_d =
+          Float.abs (e.finish -. e.start -. p.Task.duration)
+          /. p.Task.duration
+        in
+        let rel_i = Float.abs (e.current -. p.Task.current) /. p.Task.current in
+        Float.max acc (Float.max rel_d rel_i)
+      end)
+    0.0 run.events

@@ -1,0 +1,47 @@
+(** Discrete-event execution of a schedule on a {!Cpu}.
+
+    Where the scheduler reasons over analytic (current, duration)
+    estimates, the executor actually "runs" the schedule: tasks execute
+    back to back at their assigned operating points, and every change
+    of operating point between consecutive tasks costs the CPU's
+    transition latency and charge — an overhead the paper's model
+    ignores.  The result is an event trace and the induced discharge
+    profile, so predictions can be compared against (simulated)
+    reality. *)
+
+open Batsched_sched
+open Batsched_battery
+
+type event = {
+  task : int;          (** task id, or -1 for a transition event *)
+  op_index : int;      (** operating point in effect *)
+  start : float;       (** minutes *)
+  finish : float;
+  current : float;     (** mA drawn during the event *)
+}
+
+type run = {
+  events : event list;       (** in time order *)
+  profile : Profile.t;       (** the executed discharge profile *)
+  finish : float;            (** completion time, minutes *)
+  transitions : int;         (** operating-point switches performed *)
+  overhead_time : float;     (** minutes spent switching *)
+  overhead_charge : float;   (** mA*min spent switching *)
+}
+
+val execute :
+  Application.t -> cpu:Cpu.t -> schedule:Schedule.t -> run
+(** [execute app ~cpu ~schedule] runs [schedule] (built against
+    [Application.compile app ~cpu]) on the simulator.  The initial
+    operating point is the first task's, so a uniform assignment incurs
+    no transitions.
+    @raise Invalid_argument if the schedule's task count or column
+    count disagrees with the application/CPU. *)
+
+val validate_against_analytic :
+  Application.t -> cpu:Cpu.t -> schedule:Schedule.t -> float
+(** Largest absolute relative error between the executed event
+    durations/currents and the analytic design-point values — 0 (up to
+    float noise) when transitions are free, since the executor and the
+    estimator share the CPU model.  Used by tests and the platform
+    experiment. *)

@@ -1,0 +1,1 @@
+lib/sched/assignment.ml: Array Batsched_numeric Batsched_taskgraph Format Graph Kahan List Printf String Task

@@ -1,0 +1,1 @@
+lib/sched/assignment.mli: Batsched_taskgraph Format Graph Task

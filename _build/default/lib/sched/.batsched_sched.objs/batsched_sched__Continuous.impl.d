@@ -1,0 +1,1 @@
+lib/sched/continuous.ml: Array Batsched_numeric Batsched_taskgraph Float Graph Kahan Rootfind Task

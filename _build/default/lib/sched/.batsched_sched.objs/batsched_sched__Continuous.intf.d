@@ -1,0 +1,1 @@
+lib/sched/continuous.mli: Batsched_taskgraph Graph

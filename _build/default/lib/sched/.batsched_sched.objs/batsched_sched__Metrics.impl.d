@@ -1,0 +1,1 @@
+lib/sched/metrics.ml: Analysis Assignment Batsched_numeric Batsched_taskgraph Graph List Task

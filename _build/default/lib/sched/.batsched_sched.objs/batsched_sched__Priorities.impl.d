@@ -1,0 +1,1 @@
+lib/sched/priorities.ml: Analysis Assignment Batsched_numeric Batsched_taskgraph Float Graph Kahan List Task

@@ -1,0 +1,1 @@
+lib/sched/priorities.mli: Assignment Batsched_taskgraph Graph

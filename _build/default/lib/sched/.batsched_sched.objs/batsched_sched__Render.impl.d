@@ -1,0 +1,1 @@
+lib/sched/render.ml: Array Assignment Batsched_battery Batsched_taskgraph Buffer Float Graph List Printf Profile Schedule Stdlib String Task

@@ -1,0 +1,1 @@
+lib/sched/render.mli: Batsched_battery Batsched_taskgraph Graph Profile Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Analysis Assignment Batsched_battery Batsched_taskgraph Format Graph List Model Printf Profile String Task

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Assignment Batsched_battery Batsched_taskgraph Format Graph Model Profile

@@ -1,0 +1,49 @@
+open Batsched_numeric
+open Batsched_taskgraph
+
+exception Infeasible
+
+type solution = {
+  scalings : float array;
+  durations : float array;
+  charge : float;
+  lambda : float;
+}
+
+let relax g ~deadline =
+  let n = Graph.num_tasks g in
+  let fast i = Task.fastest (Graph.task g i) in
+  let base_current i = (fast i).Task.current in
+  let base_duration i = (fast i).Task.duration in
+  let fastest_total = Kahan.sum_fn n base_duration in
+  if fastest_total > deadline +. 1e-9 then raise Infeasible;
+  (* u_i(lambda) = min 1 ((lambda / (2 I_i))^(1/3)); the serial time
+     T(lambda) = sum D_i / u_i is strictly decreasing in lambda until
+     every u saturates at 1, where T = fastest_total. *)
+  let u_of lambda i =
+    Float.min 1.0 ((lambda /. (2.0 *. base_current i)) ** (1.0 /. 3.0))
+  in
+  let time_of lambda =
+    Kahan.sum_fn n (fun i -> base_duration i /. u_of lambda i)
+  in
+  let lambda =
+    if time_of 1e-12 <= deadline then 1e-12
+    else begin
+      (* bracket: at lambda_hi all u_i = 1 *)
+      let lambda_hi =
+        2.0 *. Kahan.sum_fn n base_current (* >= 2 * max I *)
+      in
+      Rootfind.brent ~tol:1e-12
+        ~f:(fun lambda -> time_of lambda -. deadline)
+        ~lo:1e-12 ~hi:lambda_hi ()
+    end
+  in
+  let scalings = Array.init n (u_of lambda) in
+  let durations = Array.init n (fun i -> base_duration i /. scalings.(i)) in
+  let charge =
+    Kahan.sum_fn n (fun i ->
+        base_current i *. base_duration i *. scalings.(i) *. scalings.(i))
+  in
+  { scalings; durations; charge; lambda }
+
+let lower_bound_charge g ~deadline = (relax g ~deadline).charge

@@ -1,0 +1,38 @@
+(** Continuous voltage-scaling relaxation — an analytic charge lower
+    bound.
+
+    Relax the discrete design points to a continuum following the
+    cube law the paper generates its data with: at scaling
+    [u in (0, 1]] relative to a task's fastest point,
+    [duration = D/u] and [current = I * u^3], hence
+    [charge = I * D * u^2].  Minimizing total charge subject to the
+    serial deadline is then a smooth convex program whose KKT conditions
+    give [u_i = min 1 ((lambda / (2 I_i))^(1/3))] with a single
+    multiplier [lambda] fixed by the deadline — solvable by bisection.
+
+    The resulting charge lower-bounds every cube-law design-point
+    selection (the discrete grid is a subset of the continuum), and —
+    because any battery model with [sigma_end >= coulomb count] can only
+    add to it — also lower-bounds the achievable RV/KiBaM sigma of
+    cube-law instances.  For instances whose points do not follow the
+    cube law exactly the bound is heuristic; the solver only promises
+    the KKT solution of the fitted relaxation. *)
+
+open Batsched_taskgraph
+
+exception Infeasible
+(** The deadline is below the all-fastest serial time. *)
+
+type solution = {
+  scalings : float array;   (** per-task [u_i] in (0, 1] *)
+  durations : float array;  (** [D_i / u_i], summing to the deadline
+                                (or less when every task is capped) *)
+  charge : float;           (** the relaxed total charge, mA*min *)
+  lambda : float;           (** the KKT multiplier *)
+}
+
+val relax : Graph.t -> deadline:float -> solution
+(** Solve the relaxation.  @raise Infeasible. *)
+
+val lower_bound_charge : Graph.t -> deadline:float -> float
+(** Just the charge of {!relax}. *)

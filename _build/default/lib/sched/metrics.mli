@@ -1,0 +1,44 @@
+(** The paper's normalized quality factors (Sec. 4).
+
+    Columns are 0-based throughout: 0 = fastest/highest power,
+    [m-1] = slowest/lowest power (paper's DP1..DPm shifted by one).
+    A window [ws] allows columns [ws .. m-1] (paper's window
+    "[ws+1]:m"). *)
+
+open Batsched_taskgraph
+
+val slack_ratio : deadline:float -> time:float -> float
+(** SR = (d - t)/d.  Smaller is better (less unexploited slack); may be
+    negative when over deadline.
+    @raise Invalid_argument on non-positive deadline. *)
+
+val current_ratio : Graph.t -> float -> float
+(** [current_ratio g i] = (i - Imin)/(Imax - Imin) over all design
+    points of all tasks of [g]; in [0, 1] for any current of the graph.
+    Degenerate graphs (Imax = Imin) yield 0. *)
+
+val energy_ratio : Graph.t -> Assignment.t -> float
+(** ENR = (E_n - E_min)/(E_max - E_min) with E_n the assignment's total
+    energy; in [0, 1].  Degenerate graphs yield 0. *)
+
+val current_increase_fraction : Graph.t -> Assignment.t -> int list -> float
+(** CIF: the fraction of adjacent sequence positions whose chosen
+    current increases, in [0, 1].  Single-task sequences yield 0.
+    @raise Invalid_argument on an empty sequence. *)
+
+val dpf_static :
+  Graph.t -> Assignment.t -> free:int list -> window_start:int -> float
+(** The design-point fraction of Eqs. 2–3 generalized to a window:
+    [sum_{k=ws..m-1} (m-1-k)/(m-1-ws) * F_k] where [F_k] is the
+    fraction of [free] tasks assigned to column [k].  Full-window
+    ([ws = 0]) reduces to the paper's Eq. 2.  Empty [free] list or a
+    single-column window yields 0.  Every free task's column must lie
+    inside the window (the algorithm parks free tasks at column [m-1]
+    and never upgrades past [ws]); the result is then in [[0, 1]].
+    @raise Invalid_argument on out-of-range [window_start] or a free
+    task assigned outside the window. *)
+
+val suitability :
+  sr:float -> cr:float -> enr:float -> cif:float -> dpf:float -> float
+(** B = SR + CR + ENR + CIF + DPF — the selection objective; lower is
+    better. *)

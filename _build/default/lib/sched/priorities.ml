@@ -1,0 +1,25 @@
+open Batsched_numeric
+open Batsched_taskgraph
+
+let sequence_dec_energy g =
+  let weight v = Task.average_energy (Graph.task g v) in
+  Analysis.list_schedule ~weight g
+
+let chosen_current g a v = (Assignment.chosen_point g a v).Task.current
+
+let weighted_sequence g a =
+  let weight v =
+    Kahan.sum_list (List.map (chosen_current g a) (Analysis.descendants g v))
+  in
+  Analysis.list_schedule ~weight g
+
+let greedy_mean_current g a =
+  let weight v =
+    let subtree = Analysis.descendants g v in
+    let mean =
+      Kahan.sum_list (List.map (chosen_current g a) subtree)
+      /. float_of_int (List.length subtree)
+    in
+    Float.max (chosen_current g a v) mean
+  in
+  Analysis.list_schedule ~weight g

@@ -1,0 +1,90 @@
+open Batsched_taskgraph
+open Batsched_battery
+
+let check_width width =
+  if width < 10 then invalid_arg "Render: width < 10"
+
+let gantt ?(width = 72) g (sched : Schedule.t) =
+  check_width width;
+  let total = Schedule.finish_time g sched in
+  let name_width =
+    List.fold_left
+      (fun acc i -> Stdlib.max acc (String.length (Graph.task g i).Task.name))
+      4 sched.Schedule.sequence
+  in
+  let column t = int_of_float (t /. total *. float_of_int (width - 1)) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s |%s| DP  mA\n" name_width "task"
+       (String.make width ' '));
+  let clock = ref 0.0 in
+  List.iter
+    (fun i ->
+      let p = Assignment.chosen_point g sched.Schedule.assignment i in
+      let a = column !clock and b = column (!clock +. p.Task.duration) in
+      let b = Stdlib.max a b in
+      let bar =
+        String.make a ' ' ^ String.make (b - a + 1) '#'
+        ^ String.make (Stdlib.max 0 (width - b - 1)) ' '
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s| P%d  %.0f\n" name_width
+           (Graph.task g i).Task.name bar
+           (Assignment.column sched.Schedule.assignment i + 1)
+           p.Task.current);
+      clock := !clock +. p.Task.duration)
+    sched.Schedule.sequence;
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s 0%s%.1f min\n" name_width ""
+       (String.make (Stdlib.max 1 (width - 6)) ' ')
+       total);
+  Buffer.contents buf
+
+let profile_chart ?(width = 72) ?(height = 10) p =
+  check_width width;
+  if height < 2 then invalid_arg "Render: height < 2";
+  match Profile.intervals p with
+  | [] -> "(empty profile)\n"
+  | intervals ->
+      let total = Profile.length p in
+      let peak = Profile.peak_current p in
+      let current_at t =
+        match
+          List.find_opt
+            (fun (iv : Profile.interval) ->
+              t >= iv.Profile.start && t < iv.Profile.start +. iv.Profile.duration)
+            intervals
+        with
+        | Some iv -> iv.Profile.current
+        | None -> 0.0
+      in
+      let levels =
+        Array.init width (fun col ->
+            (* sample mid-column to dodge boundary ambiguity *)
+            let t = (float_of_int col +. 0.5) /. float_of_int width *. total in
+            let c = current_at t in
+            if c <= 0.0 then 0
+            else
+              Stdlib.max 1
+                (int_of_float
+                   (Float.round (c /. peak *. float_of_int height))))
+      in
+      let buf = Buffer.create (width * height * 2) in
+      for row = height downto 1 do
+        let label =
+          if row = height then Printf.sprintf "%7.0f |" peak
+          else if row = 1 then Printf.sprintf "%7s |" ""
+          else Printf.sprintf "%7s |" ""
+        in
+        Buffer.add_string buf label;
+        for col = 0 to width - 1 do
+          Buffer.add_char buf (if levels.(col) >= row then '#' else ' ')
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "%7s +%s\n" "mA" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "%7s 0%s%.1f min\n" ""
+           (String.make (Stdlib.max 1 (width - 8)) ' ')
+           total);
+      Buffer.contents buf

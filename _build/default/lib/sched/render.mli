@@ -1,0 +1,18 @@
+(** Plain-text rendering of schedules and discharge profiles: a Gantt
+    strip per task and a current staircase chart.  Pure string output —
+    usable from the CLI, examples and tests alike. *)
+
+open Batsched_taskgraph
+open Batsched_battery
+
+val gantt : ?width:int -> Graph.t -> Schedule.t -> string
+(** [gantt g sched] draws one row per task in sequence order, a bar
+    spanning its execution window scaled to [width] columns (default
+    72), annotated with the chosen design point and current.
+    @raise Invalid_argument if [width < 10]. *)
+
+val profile_chart : ?width:int -> ?height:int -> Profile.t -> string
+(** [profile_chart p] draws the current-vs-time staircase of a profile
+    as a [height]-row (default 10) ASCII chart with a time axis.  Idle
+    gaps show as blank columns.  Empty profiles render a note instead.
+    @raise Invalid_argument if [width < 10] or [height < 2]. *)

@@ -1,0 +1,42 @@
+open Batsched_taskgraph
+open Batsched_battery
+
+type t = { sequence : int list; assignment : Assignment.t }
+
+let make g ~sequence ~assignment =
+  if not (Analysis.is_topological g sequence) then
+    invalid_arg "Schedule.make: sequence is not a topological order";
+  { sequence; assignment }
+
+let to_profile g t =
+  Profile.sequential
+    (List.map
+       (fun i ->
+         let p = Assignment.chosen_point g t.assignment i in
+         (p.Task.current, p.Task.duration))
+       t.sequence)
+
+let finish_time g t = Assignment.total_time g t.assignment
+
+let meets_deadline g t ~deadline = finish_time g t <= deadline +. 1e-9
+
+let battery_cost ~model g t = Model.sigma_end model (to_profile g t)
+
+let currents g t =
+  List.map
+    (fun i -> (Assignment.chosen_point g t.assignment i).Task.current)
+    t.sequence
+
+let pp_sequence g fmt seq =
+  Format.pp_print_string fmt
+    (String.concat "," (List.map (fun i -> (Graph.task g i).Task.name) seq))
+
+let pp g fmt t =
+  pp_sequence g fmt t.sequence;
+  Format.pp_print_string fmt " / ";
+  let parts =
+    List.map
+      (fun i -> Printf.sprintf "P%d" (Assignment.column t.assignment i + 1))
+      t.sequence
+  in
+  Format.pp_print_string fmt (String.concat "," parts)

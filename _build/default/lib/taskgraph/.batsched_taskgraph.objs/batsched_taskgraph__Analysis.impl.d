@@ -1,0 +1,1 @@
+lib/taskgraph/analysis.ml: Array Batsched_numeric Float Fun Graph Kahan List Task

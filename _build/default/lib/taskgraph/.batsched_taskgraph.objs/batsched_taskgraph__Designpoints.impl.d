@@ -1,0 +1,1 @@
+lib/taskgraph/designpoints.ml: List

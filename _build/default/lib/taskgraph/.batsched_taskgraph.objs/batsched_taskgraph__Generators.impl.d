@@ -1,0 +1,1 @@
+lib/taskgraph/generators.ml: Analysis Array Batsched_numeric Designpoints Float Fun Graph List Printf Rng Stdlib Task

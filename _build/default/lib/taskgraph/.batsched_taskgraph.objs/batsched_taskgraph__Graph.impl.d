@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Format Fun Hashtbl List Queue Task

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.mli: Format Task

@@ -1,0 +1,1 @@
+lib/taskgraph/instances.ml: Graph List Task

@@ -1,0 +1,1 @@
+lib/taskgraph/instances.mli: Graph

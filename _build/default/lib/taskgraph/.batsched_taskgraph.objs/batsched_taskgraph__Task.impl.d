@@ -1,0 +1,1 @@
+lib/taskgraph/task.ml: Array Batsched_numeric Float Format List

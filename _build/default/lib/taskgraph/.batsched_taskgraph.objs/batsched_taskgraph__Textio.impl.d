@@ -1,0 +1,1 @@
+lib/taskgraph/textio.ml: Array Buffer Graph List Printf String Task

@@ -1,0 +1,1 @@
+lib/taskgraph/textio.mli: Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/tgff.ml: Buffer Graph List Printf String Task

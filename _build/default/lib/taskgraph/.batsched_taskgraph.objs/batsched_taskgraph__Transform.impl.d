@@ -1,0 +1,1 @@
+lib/taskgraph/transform.ml: Analysis Array Batsched_numeric Graph List String Task

@@ -1,0 +1,158 @@
+open Batsched_numeric
+
+type spec = {
+  num_points : int;
+  current_lo : float;
+  current_hi : float;
+  duration_lo : float;
+  duration_hi : float;
+}
+
+let default_spec =
+  { num_points = 5;
+    current_lo = 300.0;
+    current_hi = 1000.0;
+    duration_lo = 3.0;
+    duration_hi = 12.0 }
+
+let check_spec s =
+  if s.num_points < 2 then invalid_arg "Generators: need >= 2 design points";
+  if not (0.0 < s.current_lo && s.current_lo <= s.current_hi) then
+    invalid_arg "Generators: bad current range";
+  if not (0.0 < s.duration_lo && s.duration_lo <= s.duration_hi) then
+    invalid_arg "Generators: bad duration range"
+
+let spec_factors s =
+  let m = s.num_points in
+  List.init m (fun i ->
+      1.0 -. ((1.0 -. 0.33) *. float_of_int i /. float_of_int (m - 1)))
+
+let uniform rng lo hi = lo +. Rng.float rng (Float.max 1e-9 (hi -. lo))
+
+let random_task ~rng ~spec ~id =
+  check_spec spec;
+  let base_current = uniform rng spec.current_lo spec.current_hi in
+  let base_duration = uniform rng spec.duration_lo spec.duration_hi in
+  let pairs, voltages =
+    Designpoints.cube_law ~base_current ~base_duration
+      ~factors:(spec_factors spec) ()
+  in
+  Task.of_pairs ~id ~name:(Printf.sprintf "T%d" (id + 1)) ~voltages pairs
+
+let build ~rng ~spec ~label ~n ~edges =
+  let tasks = List.init n (fun id -> random_task ~rng ~spec ~id) in
+  Graph.make ~label ~edges tasks
+
+let chain ~rng ~spec ~n =
+  if n < 1 then invalid_arg "Generators.chain: n < 1";
+  let edges = List.init (Stdlib.max 0 (n - 1)) (fun i -> (i, i + 1)) in
+  build ~rng ~spec ~label:(Printf.sprintf "chain-%d" n) ~n ~edges
+
+let fork_join ~rng ~spec ~widths =
+  if widths = [] then invalid_arg "Generators.fork_join: empty widths";
+  List.iter
+    (fun w -> if w < 1 then invalid_arg "Generators.fork_join: width < 1")
+    widths;
+  (* Vertices: J0, stage1, J1, stage2, J2, ... Jk *)
+  let edges = ref [] in
+  let next = ref 1 in
+  let junction = ref 0 in
+  List.iter
+    (fun w ->
+      let stage = List.init w (fun i -> !next + i) in
+      next := !next + w;
+      let j' = !next in
+      incr next;
+      List.iter
+        (fun v ->
+          edges := (!junction, v) :: (v, j') :: !edges)
+        stage;
+      junction := j')
+    widths;
+  let n = !next in
+  build ~rng ~spec
+    ~label:(Printf.sprintf "fork-join-%d" n)
+    ~n ~edges:!edges
+
+let layered ~rng ~spec ~layers ~width ~edge_prob =
+  if layers < 1 || width < 1 then invalid_arg "Generators.layered: bad dims";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Generators.layered: edge_prob outside [0,1]";
+  let n = layers * width in
+  let vertex l i = (l * width) + i in
+  let edges = ref [] in
+  for l = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      let parents = ref [] in
+      for p = 0 to width - 1 do
+        if Rng.float rng 1.0 < edge_prob then
+          parents := vertex (l - 1) p :: !parents
+      done;
+      if !parents = [] then parents := [ vertex (l - 1) (Rng.int rng width) ];
+      List.iter (fun p -> edges := (p, vertex l i) :: !edges) !parents
+    done
+  done;
+  build ~rng ~spec
+    ~label:(Printf.sprintf "layered-%dx%d" layers width)
+    ~n ~edges:!edges
+
+let series_parallel ~rng ~spec ~size =
+  if size < 1 then invalid_arg "Generators.series_parallel: size < 1";
+  (* Grow an SP skeleton: a structure is either a single vertex or a
+     series / parallel composition of two structures.  We expand until
+     the vertex budget is used, then enumerate vertices and edges.
+     Parallel composition shares the endpoints via fresh junctions to
+     keep the graph simple (series-parallel in the two-terminal
+     sense). *)
+  let next_id = ref 0 in
+  let fresh () =
+    let v = !next_id in
+    incr next_id;
+    v
+  in
+  let edges = ref [] in
+  (* build a sub-dag between [src] and [dst] with approximately [budget]
+     internal vertices; returns unit, records edges. *)
+  let rec grow src dst budget =
+    if budget <= 0 then edges := (src, dst) :: !edges
+    else if budget = 1 || Rng.bool rng then begin
+      (* series: src -> v -> dst with the rest of the budget split *)
+      let v = fresh () in
+      let left = Rng.int rng (Stdlib.max 1 budget) in
+      grow src v left;
+      grow v dst (budget - 1 - left)
+    end
+    else begin
+      (* parallel: two branches between the same terminals *)
+      let left = Rng.int rng budget in
+      grow src dst left;
+      grow src dst (budget - left)
+    end
+  in
+  let src = fresh () in
+  let dst = fresh () in
+  grow src dst (Stdlib.max 0 (size - 2));
+  let n = !next_id in
+  (* Deduplicate parallel edges (Graph.make collapses them anyway). *)
+  build ~rng ~spec ~label:(Printf.sprintf "sp-%d" n) ~n ~edges:!edges
+
+let random_dag ~rng ~spec ~n ~edge_prob =
+  if n < 1 then invalid_arg "Generators.random_dag: n < 1";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Generators.random_dag: edge_prob outside [0,1]";
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1.0 < edge_prob then
+        edges := (order.(i), order.(j)) :: !edges
+    done
+  done;
+  build ~rng ~spec ~label:(Printf.sprintf "random-%d" n) ~n ~edges:!edges
+
+let feasible_deadline g ~slack =
+  if slack < 0.0 || slack > 1.0 then
+    invalid_arg "Generators.feasible_deadline: slack outside [0,1]";
+  let fastest, slowest = Analysis.serial_time_bounds g in
+  fastest +. (slack *. (slowest -. fastest))

@@ -1,0 +1,137 @@
+let transitive_reduction g =
+  let edges = Graph.edges g in
+  let descendants = Array.init (Graph.num_tasks g) (Analysis.descendants g) in
+  let reachable c b = List.mem b descendants.(c) in
+  let keep (a, b) =
+    not
+      (List.exists
+         (fun c -> c <> b && reachable c b)
+         (Graph.succs g a))
+  in
+  Graph.make ~label:(Graph.label g) ~edges:(List.filter keep edges)
+    (Graph.tasks g)
+
+let reverse g =
+  Graph.make
+    ~label:(Graph.label g ^ "-reversed")
+    ~edges:(List.map (fun (a, b) -> (b, a)) (Graph.edges g))
+    (Graph.tasks g)
+
+type merge_info = {
+  graph : Graph.t;
+  chain_of : int array;
+  members : int list array;
+}
+
+(* [u -> v] is a chain link iff v is u's only successor and u is v's
+   only predecessor. *)
+let chain_links g =
+  let n = Graph.num_tasks g in
+  let next = Array.make n None in
+  for u = 0 to n - 1 do
+    match Graph.succs g u with
+    | [ v ] -> if Graph.preds g v = [ u ] then next.(u) <- Some v
+    | _ -> ()
+  done;
+  next
+
+(* Merge a chain's members (in execution order) into one task, column
+   by column.  The duration-weighted current preserves each column's
+   charge exactly.  Raises Invalid_argument (via Task.make) if the
+   merged points violate the power/performance trade-off — callers
+   fall back to not merging that chain. *)
+let merged_task g ~id members =
+  let m = Graph.num_points g in
+  let name =
+    String.concat "+" (List.map (fun i -> (Graph.task g i).Task.name) members)
+  in
+  let points =
+    List.init m (fun j ->
+        let parts =
+          List.map (fun i -> Task.point (Graph.task g i) j) members
+        in
+        let duration =
+          Batsched_numeric.Kahan.sum_list
+            (List.map (fun p -> p.Task.duration) parts)
+        in
+        let weighted f =
+          Batsched_numeric.Kahan.sum_list
+            (List.map (fun p -> f p *. p.Task.duration) parts)
+          /. duration
+        in
+        { Task.current = weighted (fun p -> p.Task.current);
+          duration;
+          voltage = weighted (fun p -> p.Task.voltage) })
+  in
+  Task.make ~id ~name points
+
+let merge_chains g =
+  let n = Graph.num_tasks g in
+  let next = chain_links g in
+  let has_prev = Array.make n false in
+  Array.iter (function Some v -> has_prev.(v) <- true | None -> ()) next;
+  (* heads = chain starts; walk each chain to collect members *)
+  let chains = ref [] in
+  for u = 0 to n - 1 do
+    if not has_prev.(u) then begin
+      let rec walk v acc =
+        match next.(v) with
+        | Some w -> walk w (w :: acc)
+        | None -> List.rev acc
+      in
+      chains := walk u [ u ] :: !chains
+    end
+  done;
+  let chains = List.rev !chains (* ordered by head id *) in
+  (* try to merge each chain; fall back to singletons on trade-off
+     violations *)
+  let groups =
+    List.concat_map
+      (fun members ->
+        match members with
+        | [ _ ] -> [ members ]
+        | _ -> (
+            match merged_task g ~id:0 members with
+            | (_ : Task.t) -> [ members ]
+            | exception Invalid_argument _ -> List.map (fun i -> [ i ]) members))
+      chains
+  in
+  let members = Array.of_list groups in
+  let chain_of = Array.make n (-1) in
+  Array.iteri
+    (fun gid ms -> List.iter (fun i -> chain_of.(i) <- gid) ms)
+    members;
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun gid ms ->
+           match ms with
+           | [ i ] ->
+               let t = Graph.task g i in
+               Task.make ~id:gid ~name:t.Task.name
+                 (Array.to_list t.Task.points)
+           | _ -> merged_task g ~id:gid ms)
+         members)
+  in
+  let edges =
+    Graph.edges g
+    |> List.filter_map (fun (a, b) ->
+           let a' = chain_of.(a) and b' = chain_of.(b) in
+           if a' = b' then None else Some (a', b'))
+    |> List.sort_uniq compare
+  in
+  let graph = Graph.make ~label:(Graph.label g ^ "-merged") ~edges tasks in
+  { graph; chain_of; members }
+
+let expand_sequence info seq =
+  let n' = Graph.num_tasks info.graph in
+  if List.length seq <> n' then
+    invalid_arg "Transform.expand_sequence: length mismatch";
+  let seen = Array.make n' false in
+  List.iter
+    (fun gid ->
+      if gid < 0 || gid >= n' || seen.(gid) then
+        invalid_arg "Transform.expand_sequence: not a permutation";
+      seen.(gid) <- true)
+    seq;
+  List.concat_map (fun gid -> info.members.(gid)) seq

@@ -1,0 +1,43 @@
+(** Structural task-graph transformations.
+
+    Preprocessing passes a scheduling front end typically applies
+    before the expensive search:
+
+    - {!transitive_reduction} drops edges implied by longer paths —
+      harmless to the precedence semantics, fewer constraints to check;
+    - {!merge_chains} collapses maximal linear chains (each link the
+      sole successor of its predecessor and sole predecessor of its
+      successor) into one task per chain.  Since chain members always
+      execute contiguously per column choice in an optimal sequential
+      schedule of the merged graph, column [j] of a merged task runs
+      every member at column [j]: durations add, the current is the
+      duration-weighted mean (which preserves the column's charge
+      exactly), and the voltage likewise.
+    - {!reverse} flips every edge (and reverses per-task semantics are
+      unchanged) — handy for symmetry tests. *)
+
+val transitive_reduction : Graph.t -> Graph.t
+(** Smallest edge subset with the same reachability relation (unique
+    for DAGs). *)
+
+val reverse : Graph.t -> Graph.t
+(** The mirror DAG: edge (a, b) becomes (b, a). *)
+
+type merge_info = {
+  graph : Graph.t;            (** the merged graph *)
+  chain_of : int array;       (** original task id -> merged task id *)
+  members : int list array;   (** merged task id -> original ids, in
+                                  execution order *)
+}
+
+val merge_chains : Graph.t -> merge_info
+(** Collapse maximal chains.  Merged task names join member names with
+    ["+"].  Charge per column is preserved exactly (see above); the
+    merged graph's sequential schedules expand to schedules of the
+    original graph with identical profiles per column choice. *)
+
+val expand_sequence : merge_info -> int list -> int list
+(** Translate a sequence over the merged graph back to the original
+    tasks (members in chain order).
+    @raise Invalid_argument if the input is not a permutation of the
+    merged graph's tasks. *)

@@ -1,0 +1,1 @@
+test/test_battery.ml: Alcotest Batsched_battery Batsched_numeric Cell Curves Diffusion Gen Ideal Kibam Lifetime List Model Periodic Peukert Profile QCheck QCheck_alcotest Rakhmatov

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Batsched_experiments Float List String

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Batsched_numeric Float Fun Gen Interp Kahan List QCheck QCheck_alcotest Rng Rootfind Series Stats Ticks Tridiag

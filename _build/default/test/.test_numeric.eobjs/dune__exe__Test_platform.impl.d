@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Analysis Application Assignment Batsched Batsched_battery Batsched_platform Batsched_sched Batsched_taskgraph Cpu Executor Graph List Schedule Task

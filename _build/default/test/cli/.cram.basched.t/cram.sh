@@ -1,0 +1,32 @@
+  $ cat > pipe.btg << EOF
+  > graph pipe
+  > task A 600:2 350:3 150:5
+  > task B 800:4 450:6 200:9
+  > task C 900:3 500:5 220:8
+  > edge A B
+  > edge B C
+  > EOF
+  $ basched pipe.btg --deadline 15
+  $ basched pipe.btg --deadline 15 --algo chowdhury
+  $ basched pipe.btg --deadline 5
+  $ cat > pipe.tgff << EOF
+  > @TASK_GRAPH 0 {
+  >   TASK A TYPE 0
+  >   TASK B TYPE 1
+  >   ARC a0 FROM A TO B TYPE 0
+  >   HARD_DEADLINE d0 ON B AT 9
+  > }
+  > @DESIGN_POINT 0 {
+  >   0 600 2
+  >   1 800 4
+  > }
+  > @DESIGN_POINT 1 {
+  >   0 150 5
+  >   1 200 9
+  > }
+  > EOF
+  $ basched pipe.tgff
+  $ printf 'task A banana\n' > broken.btg
+  $ basched broken.btg --deadline 5
+  $ basched pipe.btg --deadline 15 --algo iterative-ms --polish | tail -3
+  $ basched pipe.btg --deadline 15 --algo branch-bound | tail -3

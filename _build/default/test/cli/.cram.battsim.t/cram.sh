@@ -1,0 +1,5 @@
+  $ battsim lifetime --current 50 --alpha 1000 --model ideal
+  $ battsim lifetime --current 800 | sed 's/lifetime .*//'
+  $ battsim sigma --load 800:20 --load 800:20 | tail -1
+  $ battsim sigma --load 800:20 --load 800:20 --idle 30 | tail -1
+  $ battsim sigma --load banana

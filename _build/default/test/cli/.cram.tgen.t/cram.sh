@@ -1,0 +1,7 @@
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 -o chain.btg
+  $ basched chain.btg --deadline 60 | head -2
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 > a.btg
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 > b.btg
+  $ cmp a.btg b.btg
+  $ batsched-tgen --family banana
+  $ batsched-repro --list | cut -d' ' -f1

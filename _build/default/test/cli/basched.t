@@ -1,0 +1,76 @@
+The scheduler CLI reads the native text format.
+
+  $ cat > pipe.btg << EOF
+  > graph pipe
+  > task A 600:2 350:3 150:5
+  > task B 800:4 450:6 200:9
+  > task C 900:3 500:5 220:8
+  > edge A B
+  > edge B C
+  > EOF
+
+  $ basched pipe.btg --deadline 15
+  graph pipe: 3 tasks, 3 design points, 2 edges
+  schedule: A,B,C / P2,P1,P3
+  finish:   15.00 min
+  sigma:    15980.1 mA*min
+
+The Chowdhury baseline on the same instance:
+
+  $ basched pipe.btg --deadline 15 --algo chowdhury
+  graph pipe: 3 tasks, 3 design points, 2 edges
+  schedule: A,B,C / P2,P1,P3
+  finish:   15.00 min
+  sigma:    15980.1 mA*min
+
+An unmeetable deadline reports the feasibility bound:
+
+  $ basched pipe.btg --deadline 5
+  graph pipe: 3 tasks, 3 design points, 2 edges
+  basched: deadline 5.00 min cannot be met (all-fastest serial time 9.00)
+  [124]
+
+TGFF-dialect input is auto-detected and can embed its deadline:
+
+  $ cat > pipe.tgff << EOF
+  > @TASK_GRAPH 0 {
+  >   TASK A TYPE 0
+  >   TASK B TYPE 1
+  >   ARC a0 FROM A TO B TYPE 0
+  >   HARD_DEADLINE d0 ON B AT 9
+  > }
+  > @DESIGN_POINT 0 {
+  >   0 600 2
+  >   1 800 4
+  > }
+  > @DESIGN_POINT 1 {
+  >   0 150 5
+  >   1 200 9
+  > }
+  > EOF
+
+  $ basched pipe.tgff
+  graph tgff: 2 tasks, 2 design points, 1 edges
+  deadline 9.00 min (from the file)
+  schedule: A,B / P2,P1
+  finish:   9.00 min
+  sigma:    20680.7 mA*min
+
+A parse error points at the offending line:
+
+  $ printf 'task A banana\n' > broken.btg
+  $ basched broken.btg --deadline 5
+  basched: broken.btg:1: bad design point: banana
+  [124]
+
+Multi-start search with local-search polish, and the exact reference:
+
+  $ basched pipe.btg --deadline 15 --algo iterative-ms --polish | tail -3
+  schedule: A,B,C / P2,P1,P3
+  finish:   15.00 min
+  sigma:    15980.1 mA*min
+
+  $ basched pipe.btg --deadline 15 --algo branch-bound | tail -3
+  schedule: A,B,C / P2,P1,P3
+  finish:   15.00 min
+  sigma:    15980.1 mA*min

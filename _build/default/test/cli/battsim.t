@@ -1,0 +1,24 @@
+Lifetime under a constant load (the ideal model is exact: alpha / I).
+
+  $ battsim lifetime --current 50 --alpha 1000 --model ideal
+  model ideal, alpha 1000 mA*min, constant 50.0 mA -> lifetime 20.00 min (0.33 h), delivered 1000 mA*min (100.0% of alpha)
+
+The Rakhmatov-Vrudhula model delivers less at the same load:
+
+  $ battsim lifetime --current 800 | sed 's/lifetime .*//'
+  model rakhmatov, alpha 40375 mA*min, constant 800.0 mA -> 
+
+Sigma of a two-burst profile, with and without a recovery gap
+(the gapped variant loses less apparent charge):
+
+  $ battsim sigma --load 800:20 --load 800:20 | tail -1
+  sigma at end: 64181.5 mA*min
+
+  $ battsim sigma --load 800:20 --load 800:20 --idle 30 | tail -1
+  sigma at end: 60821.8 mA*min
+
+Bad input is rejected:
+
+  $ battsim sigma --load banana
+  battsim: bad load (want I:D): banana
+  [124]

@@ -1,0 +1,43 @@
+Generate a chain and feed it straight back to the scheduler.
+
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 -o chain.btg
+  wrote chain.btg: 4 tasks, 3 edges; feasible deadlines 31.2 .. 94.6 min
+
+  $ basched chain.btg --deadline 60 | head -2
+  graph chain-4: 4 tasks, 3 design points, 3 edges
+  schedule: T1,T2,T3,T4 / P2,P2,P2,P3
+
+Generation is deterministic in the seed:
+
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 > a.btg
+  $ batsched-tgen --family chain -n 4 --points 3 --seed 7 > b.btg
+  $ cmp a.btg b.btg
+
+Unknown families are rejected:
+
+  $ batsched-tgen --family banana
+  tgen: unknown family: banana
+  [124]
+
+The experiment registry lists every paper artifact:
+
+  $ batsched-repro --list | cut -d' ' -f1
+  table1
+  table2
+  table3
+  table4
+  fig3
+  fig4
+  fig5
+  curves
+  validation
+  ablation
+  mechanisms
+  models
+  idle
+  beta
+  endurance
+  platform
+  multiproc
+  baselines
+  scaling

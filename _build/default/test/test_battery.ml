@@ -1,0 +1,616 @@
+(* Tests for the battery substrate: profiles, the three models,
+   lifetime estimation and the demonstration curves. *)
+
+open Batsched_battery
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Profile --- *)
+
+let test_profile_empty () =
+  check_float "length" 0.0 (Profile.length Profile.empty);
+  check_float "charge" 0.0 (Profile.total_charge Profile.empty)
+
+let test_profile_sequential_layout () =
+  let p = Profile.sequential [ (100.0, 2.0); (200.0, 3.0); (50.0, 1.0) ] in
+  let ivs = Profile.intervals p in
+  Alcotest.(check int) "three intervals" 3 (List.length ivs);
+  let starts = List.map (fun iv -> iv.Profile.start) ivs in
+  Alcotest.(check (list (float 1e-9))) "back to back" [ 0.0; 2.0; 5.0 ] starts;
+  check_float "length" 6.0 (Profile.length p)
+
+let test_profile_total_charge () =
+  let p = Profile.sequential [ (100.0, 2.0); (200.0, 3.0) ] in
+  check_float "charge" 800.0 (Profile.total_charge p)
+
+let test_profile_drops_zero_duration () =
+  let p = Profile.sequential [ (100.0, 0.0); (200.0, 3.0) ] in
+  Alcotest.(check int) "one interval" 1 (List.length (Profile.intervals p))
+
+let test_profile_rejects_overlap () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Profile: overlapping intervals") (fun () ->
+      ignore (Profile.of_intervals [ (0.0, 5.0, 10.0); (3.0, 2.0, 10.0) ]))
+
+let test_profile_rejects_negative_current () =
+  Alcotest.check_raises "negative current"
+    (Invalid_argument "Profile: negative current") (fun () ->
+      ignore (Profile.of_intervals [ (0.0, 1.0, -5.0) ]))
+
+let test_profile_touching_ok () =
+  let p = Profile.of_intervals [ (0.0, 2.0, 10.0); (2.0, 2.0, 20.0) ] in
+  Alcotest.(check int) "two intervals" 2 (List.length (Profile.intervals p))
+
+let test_profile_truncate_clips () =
+  let p = Profile.sequential [ (100.0, 4.0) ] in
+  let t = Profile.truncate p ~at:2.5 in
+  check_float "clipped charge" 250.0 (Profile.total_charge t)
+
+let test_profile_truncate_drops_later () =
+  let p = Profile.sequential [ (100.0, 2.0); (200.0, 2.0) ] in
+  let t = Profile.truncate p ~at:2.0 in
+  Alcotest.(check int) "only first" 1 (List.length (Profile.intervals t))
+
+let test_profile_with_idle () =
+  let p = Profile.sequential [ (100.0, 2.0); (200.0, 2.0) ] in
+  let q = Profile.with_idle p ~after:2.0 ~idle:5.0 in
+  check_float "gap opened" 9.0 (Profile.length q);
+  check_float "charge unchanged" (Profile.total_charge p) (Profile.total_charge q)
+
+let test_profile_peak_current () =
+  let p = Profile.sequential [ (100.0, 1.0); (700.0, 1.0); (300.0, 1.0) ] in
+  check_float "peak" 700.0 (Profile.peak_current p)
+
+(* --- Ideal model --- *)
+
+let test_ideal_equals_charge () =
+  let p = Profile.sequential [ (123.0, 4.5); (67.0, 2.5) ] in
+  check_float "sigma = coulombs" (Profile.total_charge p)
+    (Model.sigma_end Ideal.model p)
+
+let test_ideal_truncation () =
+  let p = Profile.sequential [ (100.0, 10.0) ] in
+  check_float "half" 500.0 (Ideal.sigma p ~at:5.0)
+
+(* --- Peukert model --- *)
+
+let test_peukert_reference_current_ideal () =
+  let p = Profile.constant ~current:100.0 ~duration:10.0 in
+  check_close 1e-6 "reference" 1000.0
+    (Peukert.sigma ~reference_current:100.0 p ~at:10.0)
+
+let test_peukert_penalizes_high_current () =
+  let hi = Profile.constant ~current:400.0 ~duration:10.0 in
+  Alcotest.(check bool) "superlinear" true
+    (Peukert.sigma hi ~at:10.0 > Profile.total_charge hi)
+
+let test_peukert_rewards_low_current () =
+  let lo = Profile.constant ~current:25.0 ~duration:10.0 in
+  Alcotest.(check bool) "sublinear" true
+    (Peukert.sigma lo ~at:10.0 < Profile.total_charge lo)
+
+let test_peukert_exponent_one_is_ideal () =
+  let p = Profile.sequential [ (300.0, 5.0); (80.0, 3.0) ] in
+  check_close 1e-9 "p=1" (Profile.total_charge p)
+    (Peukert.sigma ~exponent:1.0 p ~at:8.0)
+
+let test_peukert_invalid () =
+  Alcotest.check_raises "exponent < 1"
+    (Invalid_argument "Peukert.sigma: exponent must be >= 1") (fun () ->
+      ignore (Peukert.sigma ~exponent:0.5 Profile.empty ~at:0.0))
+
+(* --- Rakhmatov model --- *)
+
+let test_rv_exceeds_ideal_during_load () =
+  let p = Profile.constant ~current:500.0 ~duration:30.0 in
+  let sigma = Rakhmatov.sigma p ~at:30.0 in
+  Alcotest.(check bool) "above coulombs" true (sigma > Profile.total_charge p)
+
+let test_rv_recovers_at_rest () =
+  let p = Profile.constant ~current:500.0 ~duration:30.0 in
+  let long_after = Rakhmatov.sigma p ~at:100000.0 in
+  check_close 1.0 "full recovery" (Profile.total_charge p) long_after
+
+let test_rv_monotone_in_time_during_load () =
+  let p = Profile.constant ~current:500.0 ~duration:60.0 in
+  let s t = Rakhmatov.sigma p ~at:t in
+  Alcotest.(check bool) "monotone" true (s 10.0 < s 30.0 && s 30.0 < s 60.0)
+
+let test_rv_zero_at_time_zero () =
+  let p = Profile.constant ~current:500.0 ~duration:60.0 in
+  check_float "zero" 0.0 (Rakhmatov.sigma p ~at:0.0)
+
+let test_rv_large_beta_is_ideal () =
+  let p = Profile.sequential [ (400.0, 5.0); (100.0, 10.0) ] in
+  check_close 0.5 "ideal limit" (Profile.total_charge p)
+    (Rakhmatov.sigma ~beta:50.0 p ~at:15.0)
+
+let test_rv_superposition_of_currents () =
+  (* sigma is linear in current magnitudes: doubling currents doubles it *)
+  let p1 = Profile.sequential [ (100.0, 5.0); (300.0, 5.0) ] in
+  let p2 = Profile.sequential [ (200.0, 5.0); (600.0, 5.0) ] in
+  check_close 1e-6 "linear"
+    (2.0 *. Rakhmatov.sigma p1 ~at:10.0)
+    (Rakhmatov.sigma p2 ~at:10.0)
+
+let test_rv_paper_magnitude () =
+  (* the G3 example's best profiles cost ~13-17k mA*min over ~230 min; a
+     constant-current surrogate of the same average load must land in
+     the same decade *)
+  let p = Profile.constant ~current:60.0 ~duration:229.8 in
+  let sigma = Rakhmatov.sigma ~beta:0.273 p ~at:229.8 in
+  Alcotest.(check bool) "same decade" true (sigma > 13000.0 && sigma < 20000.0)
+
+let test_rv_ordering_theorem_pairwise () =
+  let heavy_first = Profile.sequential [ (800.0, 10.0); (100.0, 10.0) ] in
+  let light_first = Profile.sequential [ (100.0, 10.0); (800.0, 10.0) ] in
+  Alcotest.(check bool) "decreasing wins" true
+    (Model.sigma_end (Rakhmatov.model ()) heavy_first
+     < Model.sigma_end (Rakhmatov.model ()) light_first)
+
+let test_rv_unavailable_nonnegative () =
+  let p = Profile.sequential [ (500.0, 10.0); (200.0, 20.0) ] in
+  Alcotest.(check bool) "nonneg" true
+    (Rakhmatov.unavailable_charge p ~at:30.0 >= 0.0)
+
+let test_rv_sigma_can_dip_after_heavy_load () =
+  (* a documented non-monotonicity: once a heavy interval ends, its
+     recoverable unavailable charge relaxes faster than a light
+     successor accrues, so sigma dips — exactly the recovery phenomenon
+     the scheduler exploits by putting heavy tasks early *)
+  let p = Profile.sequential [ (550.0, 25.0); (50.0, 20.0) ] in
+  let during = Rakhmatov.sigma p ~at:25.0 in
+  let later = Rakhmatov.sigma p ~at:35.0 in
+  Alcotest.(check bool) "dips" true (later < during)
+
+let test_lifetime_first_crossing_on_dip () =
+  (* with a dipping sigma the battery dies at the FIRST crossing even if
+     sigma later falls back under alpha *)
+  let model = Rakhmatov.model () in
+  let p = Profile.sequential [ (550.0, 25.0); (50.0, 20.0) ] in
+  let peak = Rakhmatov.sigma p ~at:25.0 in
+  let at_end = Model.sigma_end model p in
+  let alpha = (peak +. at_end) /. 2.0 in
+  (* alpha sits between the dip and the peak: death must be reported *)
+  match Lifetime.of_profile ~model ~alpha p with
+  | Lifetime.Dies_at t ->
+      Alcotest.(check bool) "dies before the heavy interval ends" true
+        (t <= 25.0 +. 1e-3)
+  | Lifetime.Survives _ -> Alcotest.fail "must report first crossing"
+
+let test_rv_negative_time_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rakhmatov.sigma: negative time") (fun () ->
+      ignore (Rakhmatov.sigma Profile.empty ~at:(-1.0)))
+
+(* --- KiBaM --- *)
+
+let kp = Kibam.default_params
+
+let test_kibam_full_state () =
+  let st = Kibam.full kp in
+  check_float "available" (kp.Kibam.c *. kp.Kibam.capacity) st.Kibam.available;
+  check_float "total" kp.Kibam.capacity (st.Kibam.available +. st.Kibam.bound)
+
+let test_kibam_conservation () =
+  (* wells only exchange charge internally: y1 + y2 = y0 - I*t *)
+  let st = Kibam.step kp (Kibam.full kp) ~current:400.0 ~duration:30.0 in
+  check_close 1e-6 "conservation"
+    (kp.Kibam.capacity -. (400.0 *. 30.0))
+    (st.Kibam.available +. st.Kibam.bound)
+
+let test_kibam_sigma_zero_at_start () =
+  let p = Profile.constant ~current:400.0 ~duration:30.0 in
+  check_close 1e-9 "zero" 0.0 (Kibam.sigma p ~at:0.0)
+
+let test_kibam_sigma_equals_drawn_at_equilibrium () =
+  (* after a long rest the wells re-equilibrate and sigma -> drawn *)
+  let p = Profile.of_intervals [ (0.0, 10.0, 300.0) ] in
+  let q = Profile.with_idle p ~after:10.0 ~idle:0.0 in
+  ignore q;
+  let sigma_late = Kibam.sigma p ~at:100000.0 in
+  check_close 1.0 "full recovery" 3000.0 sigma_late
+
+let test_kibam_rate_capacity () =
+  (* under load sigma exceeds the coulomb count *)
+  let p = Profile.constant ~current:800.0 ~duration:20.0 in
+  Alcotest.(check bool) "apparent > drawn" true
+    (Kibam.sigma p ~at:20.0 > Profile.total_charge p)
+
+let test_kibam_recovery_between_bursts () =
+  (* idle between bursts leaves more available charge at the end *)
+  let packed = Profile.sequential [ (800.0, 20.0); (800.0, 20.0) ] in
+  let gapped =
+    Profile.of_intervals [ (0.0, 20.0, 800.0); (50.0, 20.0, 800.0) ]
+  in
+  let s_packed = Kibam.sigma packed ~at:40.0 in
+  let s_gapped = Kibam.sigma gapped ~at:70.0 in
+  Alcotest.(check bool) "recovery" true (s_gapped < s_packed)
+
+let test_kibam_lifetime_decreases_with_load () =
+  let model = Kibam.model () in
+  let alpha = kp.Kibam.capacity in
+  let l c = Lifetime.of_constant_current ~model ~alpha ~current:c in
+  Alcotest.(check bool) "monotone" true (l 200.0 > l 400.0 && l 400.0 > l 800.0)
+
+let test_kibam_delivers_less_at_high_rate () =
+  let model = Kibam.model () in
+  let alpha = kp.Kibam.capacity in
+  let delivered c = c *. Lifetime.of_constant_current ~model ~alpha ~current:c in
+  Alcotest.(check bool) "rate capacity on delivery" true
+    (delivered 100.0 > delivered 1000.0)
+
+let test_kibam_param_validation () =
+  Alcotest.check_raises "bad c" (Invalid_argument "Kibam.make_params: c outside (0,1)")
+    (fun () -> ignore (Kibam.make_params ~capacity:100.0 ~c:1.5 ~k_prime:0.1))
+
+let test_kibam_step_validation () =
+  Alcotest.check_raises "negative current"
+    (Invalid_argument "Kibam.step: negative current") (fun () ->
+      ignore (Kibam.step kp (Kibam.full kp) ~current:(-1.0) ~duration:1.0))
+
+(* --- Lifetime --- *)
+
+let test_lifetime_survives_light_load () =
+  let model = Rakhmatov.model () in
+  let p = Profile.constant ~current:10.0 ~duration:60.0 in
+  match Lifetime.of_profile ~model ~alpha:Cell.itsy.Cell.alpha p with
+  | Lifetime.Survives { headroom; _ } ->
+      Alcotest.(check bool) "headroom positive" true (headroom > 0.0)
+  | Lifetime.Dies_at _ -> Alcotest.fail "should survive"
+
+let test_lifetime_dies_under_heavy_load () =
+  let model = Rakhmatov.model () in
+  let p = Profile.constant ~current:2000.0 ~duration:10000.0 in
+  match Lifetime.of_profile ~model ~alpha:Cell.itsy.Cell.alpha p with
+  | Lifetime.Dies_at t -> Alcotest.(check bool) "positive time" true (t > 0.0)
+  | Lifetime.Survives _ -> Alcotest.fail "should die"
+
+let test_lifetime_constant_current_consistent () =
+  let model = Rakhmatov.model () in
+  let alpha = Cell.itsy.Cell.alpha in
+  let current = 500.0 in
+  let t = Lifetime.of_constant_current ~model ~alpha ~current in
+  let p = Profile.constant ~current ~duration:(2.0 *. t) in
+  check_close 1.0 "sigma(T*) = alpha" alpha (model.Model.sigma p ~at:t)
+
+let test_lifetime_decreases_with_load () =
+  let model = Rakhmatov.model () in
+  let alpha = Cell.itsy.Cell.alpha in
+  let l c = Lifetime.of_constant_current ~model ~alpha ~current:c in
+  Alcotest.(check bool) "monotone" true (l 100.0 > l 200.0 && l 200.0 > l 800.0)
+
+let test_lifetime_ideal_model_exact () =
+  let t =
+    Lifetime.of_constant_current ~model:Ideal.model ~alpha:1000.0 ~current:50.0
+  in
+  check_close 1e-3 "alpha/I" 20.0 t
+
+let test_lifetime_bad_alpha () =
+  Alcotest.check_raises "alpha <= 0"
+    (Invalid_argument "Lifetime: alpha must be positive") (fun () ->
+      ignore (Lifetime.survives ~model:Ideal.model ~alpha:0.0 Profile.empty))
+
+(* --- Diffusion PDE reference --- *)
+
+(* coarse grid keeps these fast; tolerances account for it *)
+let pde_params =
+  Diffusion.make_params ~nodes:48 ~dt:0.05 ~alpha:40375.0 ~beta:0.273 ()
+
+let test_diffusion_zero_load () =
+  let p = Profile.empty in
+  check_close 1e-6 "undisturbed" 0.0 (Diffusion.sigma ~params:pde_params p ~at:10.0)
+
+let test_diffusion_conservation_at_rest () =
+  (* long after the load, sigma -> drawn charge *)
+  let p = Profile.constant ~current:500.0 ~duration:20.0 in
+  check_close 30.0 "recovers to coulombs" 10000.0
+    (Diffusion.sigma ~params:pde_params p ~at:500.0)
+
+let test_diffusion_matches_analytic_under_load () =
+  (* with a long series the analytic model must agree with the PDE *)
+  let p = Profile.constant ~current:800.0 ~duration:20.0 in
+  let analytic = Rakhmatov.sigma ~terms:5000 p ~at:20.0 in
+  let pde = Diffusion.sigma ~params:pde_params p ~at:20.0 in
+  check_close (0.005 *. analytic) "first principles" analytic pde
+
+let test_diffusion_matches_analytic_with_recovery () =
+  let p = Profile.of_intervals [ (0.0, 20.0, 800.0); (50.0, 20.0, 800.0) ] in
+  let analytic = Rakhmatov.sigma ~terms:5000 p ~at:70.0 in
+  let pde = Diffusion.sigma ~params:pde_params p ~at:70.0 in
+  check_close (0.005 *. analytic) "with recovery" analytic pde
+
+let test_diffusion_ten_terms_undercounts_under_load () =
+  (* the documented truncation bias: 10 terms < PDE during discharge *)
+  let p = Profile.constant ~current:800.0 ~duration:20.0 in
+  Alcotest.(check bool) "undercounts" true
+    (Rakhmatov.sigma p ~at:20.0 < Diffusion.sigma ~params:pde_params p ~at:20.0)
+
+let test_diffusion_surface_depletes () =
+  let p = Profile.constant ~current:800.0 ~duration:20.0 in
+  let s0 = Diffusion.surface_density ~params:pde_params p ~at:0.0 in
+  let s20 = Diffusion.surface_density ~params:pde_params p ~at:20.0 in
+  check_close 1e-6 "starts full" 40375.0 s0;
+  Alcotest.(check bool) "depletes" true (s20 < s0)
+
+let test_diffusion_param_validation () =
+  Alcotest.check_raises "nodes" (Invalid_argument "Diffusion.make_params: nodes < 8")
+    (fun () -> ignore (Diffusion.make_params ~nodes:2 ~alpha:1.0 ~beta:1.0 ()))
+
+(* --- Periodic --- *)
+
+let ideal = Ideal.model
+
+let test_periodic_ideal_matches_budget () =
+  (* ideal battery: cycles = floor(alpha / charge-per-cycle), period
+     irrelevant *)
+  let cycle = Profile.constant ~current:100.0 ~duration:10.0 in
+  (* 1000 mA*min per cycle; alpha 3500 -> dies in cycle 4, so 3 done *)
+  Alcotest.(check int) "floor of budget" 3
+    (Periodic.cycles_to_death ~model:ideal ~alpha:3500.0 ~period:20.0 cycle)
+
+let test_periodic_unsustainable_first_cycle () =
+  let cycle = Profile.constant ~current:100.0 ~duration:10.0 in
+  Alcotest.check_raises "first cycle fatal" Periodic.Unsustainable (fun () ->
+      ignore
+        (Periodic.cycles_to_death ~model:ideal ~alpha:500.0 ~period:20.0 cycle))
+
+let test_periodic_rv_rest_helps () =
+  (* under RV a longer period (more recovery) never sustains fewer
+     cycles, and here strictly more *)
+  let model = Rakhmatov.model () in
+  let cycle = Profile.constant ~current:800.0 ~duration:20.0 in
+  let alpha = 62500.0 in
+  let tight =
+    Periodic.cycles_to_death ~max_cycles:50 ~model ~alpha ~period:20.0 cycle
+  in
+  let loose =
+    Periodic.cycles_to_death ~max_cycles:50 ~model ~alpha ~period:120.0 cycle
+  in
+  Alcotest.(check bool) "rest helps" true (loose > tight)
+
+let test_periodic_cycle_longer_than_period () =
+  let cycle = Profile.constant ~current:100.0 ~duration:10.0 in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Periodic: cycle longer than the period") (fun () ->
+      ignore
+        (Periodic.cycles_to_death ~model:ideal ~alpha:1e6 ~period:5.0 cycle))
+
+let test_periodic_max_cycles_cap () =
+  let cycle = Profile.constant ~current:1.0 ~duration:1.0 in
+  Alcotest.(check int) "capped" 7
+    (Periodic.cycles_to_death ~max_cycles:7 ~model:ideal ~alpha:1e9
+       ~period:2.0 cycle)
+
+let test_periodic_min_period () =
+  let model = Rakhmatov.model () in
+  let cycle = Profile.constant ~current:800.0 ~duration:20.0 in
+  let alpha = 62500.0 in
+  let target =
+    1 + Periodic.cycles_to_death ~max_cycles:50 ~model ~alpha ~period:20.0 cycle
+  in
+  (match
+     Periodic.min_period_for_cycles ~max_cycles:50 ~model ~alpha cycle ~target
+   with
+  | Some p ->
+      Alcotest.(check bool) "longer than the cycle" true (p >= 20.0);
+      Alcotest.(check bool) "achieves the target" true
+        (Periodic.max_sustainable_cycles ~max_cycles:50 ~model ~alpha cycle
+           ~period:p ~target);
+      Alcotest.(check bool) "tight: slightly less fails" true
+        (p <= 20.0 +. 0.02
+         || not
+              (Periodic.max_sustainable_cycles ~max_cycles:50 ~model ~alpha
+                 cycle ~period:(p -. 0.1) ~target))
+  | None -> Alcotest.fail "a finite period should suffice")
+
+let test_periodic_min_period_impossible () =
+  (* 100 cycles of 1000 mA*min against alpha 3500 can never fit *)
+  let cycle = Profile.constant ~current:100.0 ~duration:10.0 in
+  Alcotest.(check bool) "impossible" true
+    (Periodic.min_period_for_cycles ~model:ideal ~alpha:3500.0 cycle
+       ~target:100
+     = None)
+
+let test_periodic_interp_curve () =
+  let model = Rakhmatov.model () in
+  let cycle = Profile.constant ~current:800.0 ~duration:20.0 in
+  let curve =
+    Periodic.interp_cycles ~model ~alpha:60000.0 cycle
+      ~periods:[ 20.0; 60.0; 120.0 ]
+  in
+  let lo, hi = Batsched_numeric.Interp.domain curve in
+  check_float "domain lo" 20.0 lo;
+  check_float "domain hi" 120.0 hi
+
+(* --- Cell --- *)
+
+let test_cell_presets () =
+  check_float "itsy alpha" 40375.0 Cell.itsy.Cell.alpha;
+  check_float "itsy beta" 0.273 Cell.itsy.Cell.beta;
+  check_close 1e-9 "mAh" (40375.0 /. 60.0) (Cell.rated_capacity_mah Cell.itsy)
+
+let test_cell_validation () =
+  Alcotest.check_raises "bad alpha"
+    (Invalid_argument "Cell.make: alpha must be positive") (fun () ->
+      ignore (Cell.make ~label:"x" ~alpha:0.0 ~beta:1.0))
+
+(* --- Curves --- *)
+
+let test_curves_rate_capacity_shape () =
+  let pts =
+    Curves.rate_capacity ~cell:Cell.itsy ~currents:[ 100.0; 400.0; 1600.0 ]
+  in
+  match pts with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "falling efficiency" true
+        (a.Curves.efficiency > b.Curves.efficiency
+         && b.Curves.efficiency > c.Curves.efficiency);
+      Alcotest.(check bool) "bounded" true
+        (a.Curves.efficiency <= 1.0 && c.Curves.efficiency > 0.0)
+  | _ -> Alcotest.fail "expected three points"
+
+let test_curves_recovery_shape () =
+  let pts =
+    Curves.recovery ~cell:Cell.itsy ~current:800.0 ~burst:20.0
+      ~idles:[ 0.0; 10.0; 60.0 ]
+  in
+  match pts with
+  | [ zero; ten; sixty ] ->
+      check_float "no idle no recovery" 0.0 zero.Curves.recovered;
+      Alcotest.(check bool) "monotone recovery" true
+        (ten.Curves.recovered > 0.0
+         && sixty.Curves.recovered > ten.Curves.recovered)
+  | _ -> Alcotest.fail "expected three points"
+
+let test_curves_sigma_curve_monotone () =
+  let model = Rakhmatov.model () in
+  let p = Profile.constant ~current:300.0 ~duration:50.0 in
+  let c = Curves.sigma_curve ~model p ~n:20 in
+  let pts = Batsched_numeric.Interp.points c in
+  let rec check = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-6 && check rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (check pts)
+
+let test_curves_ordering_gap () =
+  let tasks = [ (900.0, 5.0); (100.0, 5.0); (500.0, 5.0) ] in
+  let dec, inc = Curves.ordering_gap ~cell:Cell.itsy tasks in
+  Alcotest.(check bool) "decreasing no worse" true (dec <= inc)
+
+(* --- qcheck properties --- *)
+
+let gen_loads =
+  QCheck.(
+    list_of_size Gen.(int_range 1 8)
+      (pair (float_range 10.0 1000.0) (float_range 0.5 30.0)))
+
+let prop_sigma_monotone_in_time =
+  (* monotonicity holds under constant load; with varying load sigma can
+     dip after heavy intervals (recovery) — see the dedicated dip test *)
+  QCheck.Test.make ~count:100
+    ~name:"RV sigma is non-decreasing in T under constant load"
+    QCheck.(pair (float_range 10.0 1000.0) (float_range 1.0 100.0))
+    (fun (current, duration) ->
+      let p = Profile.constant ~current ~duration in
+      let s1 = Rakhmatov.sigma p ~at:(duration /. 2.0) in
+      let s2 = Rakhmatov.sigma p ~at:duration in
+      s1 <= s2 +. 1e-6)
+
+let prop_sigma_at_least_ideal_at_end =
+  QCheck.Test.make ~count:100
+    ~name:"RV sigma at completion >= coulomb count" gen_loads (fun loads ->
+      let p = Profile.sequential loads in
+      Model.sigma_end (Rakhmatov.model ()) p >= Profile.total_charge p -. 1e-6)
+
+let prop_decreasing_order_never_worse =
+  QCheck.Test.make ~count:100
+    ~name:"decreasing-current order never worse than increasing" gen_loads
+    (fun loads ->
+      let dec, inc = Curves.ordering_gap ~cell:Cell.itsy loads in
+      dec <= inc +. 1e-6)
+
+let prop_idle_never_hurts =
+  QCheck.Test.make ~count:100 ~name:"inserting idle never raises sigma"
+    QCheck.(pair gen_loads (float_range 0.1 60.0))
+    (fun (loads, idle) ->
+      QCheck.assume (List.length loads >= 2);
+      let p = Profile.sequential loads in
+      let last_start =
+        match List.rev (Profile.intervals p) with
+        | last :: _ -> last.Profile.start
+        | [] -> 0.0
+      in
+      let q = Profile.with_idle p ~after:last_start ~idle in
+      let model = Rakhmatov.model () in
+      Model.sigma_end model q <= Model.sigma_end model p +. 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sigma_monotone_in_time;
+      prop_sigma_at_least_ideal_at_end;
+      prop_decreasing_order_never_worse;
+      prop_idle_never_hurts ]
+
+let () =
+  Alcotest.run "battery"
+    [ ( "profile",
+        [ Alcotest.test_case "empty" `Quick test_profile_empty;
+          Alcotest.test_case "sequential layout" `Quick test_profile_sequential_layout;
+          Alcotest.test_case "total charge" `Quick test_profile_total_charge;
+          Alcotest.test_case "drops zero duration" `Quick test_profile_drops_zero_duration;
+          Alcotest.test_case "rejects overlap" `Quick test_profile_rejects_overlap;
+          Alcotest.test_case "rejects negative current" `Quick test_profile_rejects_negative_current;
+          Alcotest.test_case "touching ok" `Quick test_profile_touching_ok;
+          Alcotest.test_case "truncate clips" `Quick test_profile_truncate_clips;
+          Alcotest.test_case "truncate drops later" `Quick test_profile_truncate_drops_later;
+          Alcotest.test_case "with idle" `Quick test_profile_with_idle;
+          Alcotest.test_case "peak current" `Quick test_profile_peak_current ] );
+      ( "ideal",
+        [ Alcotest.test_case "equals charge" `Quick test_ideal_equals_charge;
+          Alcotest.test_case "truncation" `Quick test_ideal_truncation ] );
+      ( "peukert",
+        [ Alcotest.test_case "reference current" `Quick test_peukert_reference_current_ideal;
+          Alcotest.test_case "penalizes high" `Quick test_peukert_penalizes_high_current;
+          Alcotest.test_case "rewards low" `Quick test_peukert_rewards_low_current;
+          Alcotest.test_case "exponent 1 is ideal" `Quick test_peukert_exponent_one_is_ideal;
+          Alcotest.test_case "invalid" `Quick test_peukert_invalid ] );
+      ( "rakhmatov",
+        [ Alcotest.test_case "exceeds ideal during load" `Quick test_rv_exceeds_ideal_during_load;
+          Alcotest.test_case "recovers at rest" `Quick test_rv_recovers_at_rest;
+          Alcotest.test_case "monotone in time" `Quick test_rv_monotone_in_time_during_load;
+          Alcotest.test_case "zero at time zero" `Quick test_rv_zero_at_time_zero;
+          Alcotest.test_case "large beta is ideal" `Quick test_rv_large_beta_is_ideal;
+          Alcotest.test_case "linear in currents" `Quick test_rv_superposition_of_currents;
+          Alcotest.test_case "paper magnitude" `Quick test_rv_paper_magnitude;
+          Alcotest.test_case "pairwise ordering" `Quick test_rv_ordering_theorem_pairwise;
+          Alcotest.test_case "unavailable nonneg" `Quick test_rv_unavailable_nonnegative;
+          Alcotest.test_case "sigma dips after heavy load" `Quick test_rv_sigma_can_dip_after_heavy_load;
+          Alcotest.test_case "negative time" `Quick test_rv_negative_time_rejected ] );
+      ( "kibam",
+        [ Alcotest.test_case "full state" `Quick test_kibam_full_state;
+          Alcotest.test_case "conservation" `Quick test_kibam_conservation;
+          Alcotest.test_case "sigma zero at start" `Quick test_kibam_sigma_zero_at_start;
+          Alcotest.test_case "sigma equals drawn at rest" `Quick test_kibam_sigma_equals_drawn_at_equilibrium;
+          Alcotest.test_case "rate capacity" `Quick test_kibam_rate_capacity;
+          Alcotest.test_case "recovery between bursts" `Quick test_kibam_recovery_between_bursts;
+          Alcotest.test_case "lifetime monotone in load" `Quick test_kibam_lifetime_decreases_with_load;
+          Alcotest.test_case "delivers less at high rate" `Quick test_kibam_delivers_less_at_high_rate;
+          Alcotest.test_case "param validation" `Quick test_kibam_param_validation;
+          Alcotest.test_case "step validation" `Quick test_kibam_step_validation ] );
+      ( "lifetime",
+        [ Alcotest.test_case "survives light load" `Quick test_lifetime_survives_light_load;
+          Alcotest.test_case "dies under heavy load" `Quick test_lifetime_dies_under_heavy_load;
+          Alcotest.test_case "constant consistency" `Quick test_lifetime_constant_current_consistent;
+          Alcotest.test_case "decreases with load" `Quick test_lifetime_decreases_with_load;
+          Alcotest.test_case "ideal exact" `Quick test_lifetime_ideal_model_exact;
+          Alcotest.test_case "first crossing on dip" `Quick test_lifetime_first_crossing_on_dip;
+          Alcotest.test_case "bad alpha" `Quick test_lifetime_bad_alpha ] );
+      ( "diffusion",
+        [ Alcotest.test_case "zero load" `Quick test_diffusion_zero_load;
+          Alcotest.test_case "conservation at rest" `Quick test_diffusion_conservation_at_rest;
+          Alcotest.test_case "matches analytic under load" `Quick test_diffusion_matches_analytic_under_load;
+          Alcotest.test_case "matches analytic with recovery" `Quick test_diffusion_matches_analytic_with_recovery;
+          Alcotest.test_case "ten terms undercount" `Quick test_diffusion_ten_terms_undercounts_under_load;
+          Alcotest.test_case "surface depletes" `Quick test_diffusion_surface_depletes;
+          Alcotest.test_case "param validation" `Quick test_diffusion_param_validation ] );
+      ( "periodic",
+        [ Alcotest.test_case "ideal matches budget" `Quick test_periodic_ideal_matches_budget;
+          Alcotest.test_case "unsustainable" `Quick test_periodic_unsustainable_first_cycle;
+          Alcotest.test_case "rest helps" `Quick test_periodic_rv_rest_helps;
+          Alcotest.test_case "cycle longer than period" `Quick test_periodic_cycle_longer_than_period;
+          Alcotest.test_case "max cycles cap" `Quick test_periodic_max_cycles_cap;
+          Alcotest.test_case "min period" `Quick test_periodic_min_period;
+          Alcotest.test_case "min period impossible" `Quick test_periodic_min_period_impossible;
+          Alcotest.test_case "interp curve" `Quick test_periodic_interp_curve ] );
+      ( "cell",
+        [ Alcotest.test_case "presets" `Quick test_cell_presets;
+          Alcotest.test_case "validation" `Quick test_cell_validation ] );
+      ( "curves",
+        [ Alcotest.test_case "rate capacity shape" `Quick test_curves_rate_capacity_shape;
+          Alcotest.test_case "recovery shape" `Quick test_curves_recovery_shape;
+          Alcotest.test_case "sigma curve monotone" `Quick test_curves_sigma_curve_monotone;
+          Alcotest.test_case "ordering gap" `Quick test_curves_ordering_gap ] );
+      ("properties", qcheck_tests) ]

@@ -1,0 +1,395 @@
+(* Tests for the numeric substrate: compensated summation, the RV
+   series kernel, root finding, interpolation, statistics, the PRNG and
+   fixed-point ticks. *)
+
+open Batsched_numeric
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Kahan --- *)
+
+let test_kahan_empty () = check_float "empty sum" 0.0 (Kahan.sum Kahan.zero)
+
+let test_kahan_simple () =
+  check_float "1+2+3" 6.0 (Kahan.sum_list [ 1.0; 2.0; 3.0 ])
+
+let test_kahan_compensation () =
+  (* classic case: 1 + 1e16 - 1e16 loses the 1 under naive summation
+     order 1e16, 1, -1e16 *)
+  let naive = 1e16 +. 1.0 -. 1e16 in
+  ignore naive;
+  check_float "compensated" 1.0 (Kahan.sum_list [ 1e16; 1.0; -1e16 ])
+
+let test_kahan_many_small () =
+  let n = 100_000 in
+  let v = Kahan.sum_fn n (fun _ -> 0.1) in
+  check_close 1e-9 "100k * 0.1" 10_000.0 v
+
+let test_kahan_sum_fn_negative () =
+  Alcotest.check_raises "negative count" (Invalid_argument "Kahan.sum_fn: negative count")
+    (fun () -> ignore (Kahan.sum_fn (-1) (fun _ -> 1.0)))
+
+let test_kahan_array () =
+  check_float "array" 15.0 (Kahan.sum_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+(* --- Series --- *)
+
+let test_series_kernel_zero_interval () =
+  (* a = b means no interval: kernel must be 0 *)
+  check_float "empty interval" 0.0 (Series.kernel ~beta:0.273 2.0 2.0)
+
+let test_series_kernel_positive () =
+  let v = Series.kernel ~beta:0.273 0.0 10.0 in
+  Alcotest.(check bool) "positive" true (v > 0.0)
+
+let test_series_kernel_monotone_in_b () =
+  let k b = Series.kernel ~beta:0.273 0.0 b in
+  Alcotest.(check bool) "monotone" true (k 5.0 < k 10.0 && k 10.0 < k 50.0)
+
+let test_series_kernel_bounded_by_limit () =
+  let limit = Series.kernel_limit ~beta:0.273 in
+  let v = Series.kernel ~terms:2000 ~beta:0.273 0.0 1e6 in
+  Alcotest.(check bool) "below limit" true (v <= limit +. 1e-6);
+  (* truncation tail is ~ 2/(beta^2 * terms) ~ 0.0134 here *)
+  check_close 0.02 "approaches limit" limit v
+
+let test_series_kernel_decays_with_a () =
+  (* recovery: moving the interval into the past shrinks its
+     unavailable-charge contribution *)
+  let k a = Series.kernel ~beta:0.273 a (a +. 10.0) in
+  Alcotest.(check bool) "decays" true (k 0.0 > k 10.0 && k 10.0 > k 100.0)
+
+let test_series_large_beta_vanishes () =
+  (* beta -> infinity is the ideal battery: kernel ~ 0 *)
+  let v = Series.kernel ~beta:100.0 0.0 10.0 in
+  Alcotest.(check bool) "vanishes" true (v < 1e-3)
+
+let test_series_invalid () =
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "Series.kernel: need 0 <= a <= b") (fun () ->
+      ignore (Series.kernel ~beta:0.273 5.0 1.0));
+  Alcotest.check_raises "bad beta"
+    (Invalid_argument "Series: beta must be positive") (fun () ->
+      ignore (Series.exp_sum ~beta:0.0 1.0))
+
+let test_series_exp_sum_matches_kernel_at_zero () =
+  (* kernel(0, b) = exp_sum(0) - exp_sum(b) *)
+  let beta = 0.273 in
+  let b = 7.0 in
+  check_close 1e-9 "identity"
+    (Series.exp_sum ~beta 0.0 -. Series.exp_sum ~beta b)
+    (Series.kernel ~beta 0.0 b)
+
+(* --- Rootfind --- *)
+
+let test_bisect_linear () =
+  let r = Rootfind.bisect ~f:(fun x -> x -. 3.0) ~lo:0.0 ~hi:10.0 () in
+  check_close 1e-6 "root" 3.0 r
+
+let test_brent_polynomial () =
+  let f x = (x *. x *. x) -. (2.0 *. x) -. 5.0 in
+  let r = Rootfind.brent ~f ~lo:1.0 ~hi:3.0 () in
+  check_close 1e-7 "wilkinson classic" 2.0945514815423265 r
+
+let test_brent_endpoint_root () =
+  let r = Rootfind.brent ~f:(fun x -> x) ~lo:0.0 ~hi:5.0 () in
+  check_float "root at lo" 0.0 r
+
+let test_bisect_no_sign_change () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Rootfind.bisect: bracket does not change sign")
+    (fun () -> ignore (Rootfind.bisect ~f:(fun _ -> 1.0) ~lo:0.0 ~hi:1.0 ()))
+
+let test_invert_monotone () =
+  let f x = x *. x in
+  let r = Rootfind.invert_monotone ~f ~target:49.0 ~lo:0.0 () in
+  check_close 1e-6 "sqrt via inversion" 7.0 r
+
+let test_invert_monotone_already_met () =
+  let r = Rootfind.invert_monotone ~f:(fun x -> x) ~target:(-5.0) ~lo:2.0 () in
+  check_float "lo already satisfies" 2.0 r
+
+(* --- Interp --- *)
+
+let test_interp_exact_at_knots () =
+  let c = Interp.of_points [ (0.0, 1.0); (1.0, 3.0); (2.0, 2.0) ] in
+  check_float "knot 0" 1.0 (Interp.eval c 0.0);
+  check_float "knot 1" 3.0 (Interp.eval c 1.0);
+  check_float "knot 2" 2.0 (Interp.eval c 2.0)
+
+let test_interp_midpoint () =
+  let c = Interp.of_points [ (0.0, 0.0); (2.0, 4.0) ] in
+  check_float "midpoint" 2.0 (Interp.eval c 1.0)
+
+let test_interp_extrapolation () =
+  let c = Interp.of_points [ (0.0, 0.0); (1.0, 2.0) ] in
+  check_float "beyond hi" 6.0 (Interp.eval c 3.0);
+  check_float "below lo" (-2.0) (Interp.eval c (-1.0))
+
+let test_interp_unsorted_input () =
+  let c = Interp.of_points [ (2.0, 2.0); (0.0, 0.0); (1.0, 1.0) ] in
+  check_float "sorted internally" 0.5 (Interp.eval c 0.5)
+
+let test_interp_duplicate_x () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Interp.of_points: duplicate abscissa") (fun () ->
+      ignore (Interp.of_points [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_interp_tabulate () =
+  let c = Interp.tabulate ~f:(fun x -> 2.0 *. x) ~lo:0.0 ~hi:10.0 ~n:11 in
+  check_float "domain lo" 0.0 (fst (Interp.domain c));
+  check_float "domain hi" 10.0 (snd (Interp.domain c));
+  check_float "linear reproduced" 7.0 (Interp.eval c 3.5)
+
+(* --- Stats --- *)
+
+let test_stats_mean () = check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_stats_variance () =
+  check_float "variance" 2.5 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let test_stats_singleton_variance () =
+  check_float "singleton" 0.0 (Stats.variance [ 42.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi
+
+let test_stats_median_odd () =
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ])
+
+let test_stats_median_even () =
+  check_float "median even" 1.5 (Stats.median [ 1.0; 2.0 ])
+
+let test_stats_percentile_bounds () =
+  let xs = [ 10.0; 20.0; 30.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 30.0 (Stats.percentile 100.0 xs)
+
+let test_stats_geometric_mean () =
+  check_close 1e-9 "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean []))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_range () =
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_float_range () =
+  let g = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create 5 in
+  let h = Rng.split g in
+  (* the split stream differs from the parent's continuation *)
+  Alcotest.(check bool) "independent" true (Rng.bits64 g <> Rng.bits64 h)
+
+let test_rng_shuffle_permutation () =
+  let g = Rng.create 6 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_pick_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick (Rng.create 1) []))
+
+(* --- Ticks --- *)
+
+let test_ticks_roundtrip () =
+  Alcotest.(check int) "7.3 min" 73 (Ticks.of_minutes 7.3);
+  check_float "back" 7.3 (Ticks.to_minutes 73)
+
+let test_ticks_exact_rejects_offgrid () =
+  Alcotest.(check bool) "on grid ok" true (Ticks.of_minutes_exn 5.3 = 53);
+  Alcotest.check_raises "off grid"
+    (Invalid_argument
+       "Ticks.of_minutes_exn: not representable at 0.1-min resolution")
+    (fun () -> ignore (Ticks.of_minutes_exn 5.34))
+
+let test_ticks_ceil_floor () =
+  Alcotest.(check int) "ceil off-grid" 54 (Ticks.of_minutes_ceil 5.34);
+  Alcotest.(check int) "floor off-grid" 53 (Ticks.of_minutes_floor 5.34);
+  Alcotest.(check int) "ceil on-grid exact" 53 (Ticks.of_minutes_ceil 5.3);
+  Alcotest.(check int) "floor on-grid exact" 53 (Ticks.of_minutes_floor 5.3)
+
+let test_ticks_sub_truncates () =
+  Alcotest.(check int) "saturating" 0 (Ticks.sub 3 5)
+
+let test_ticks_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Ticks.of_minutes: negative or non-finite") (fun () ->
+      ignore (Ticks.of_minutes (-1.0)))
+
+(* --- Tridiag --- *)
+
+let test_tridiag_identity () =
+  let x =
+    Tridiag.solve ~lower:[| 0.0; 0.0 |] ~diag:[| 1.0; 1.0; 1.0 |]
+      ~upper:[| 0.0; 0.0 |] ~rhs:[| 3.0; 4.0; 5.0 |]
+  in
+  Alcotest.(check (array (float 1e-12))) "identity" [| 3.0; 4.0; 5.0 |] x
+
+let test_tridiag_known_system () =
+  (* [[2,1,0];[1,2,1];[0,1,2]] x = [4;8;8] -> x = [1;2;3] *)
+  let x =
+    Tridiag.solve ~lower:[| 1.0; 1.0 |] ~diag:[| 2.0; 2.0; 2.0 |]
+      ~upper:[| 1.0; 1.0 |] ~rhs:[| 4.0; 8.0; 8.0 |]
+  in
+  Alcotest.(check (array (float 1e-9))) "known" [| 1.0; 2.0; 3.0 |] x
+
+let test_tridiag_single () =
+  let x = Tridiag.solve ~lower:[||] ~diag:[| 4.0 |] ~upper:[||] ~rhs:[| 8.0 |] in
+  Alcotest.(check (array (float 1e-12))) "single" [| 2.0 |] x
+
+let test_tridiag_residual_random () =
+  let g = Rng.create 9 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int g 20 in
+    let diag = Array.init n (fun _ -> 4.0 +. Rng.float g 4.0) in
+    let lower = Array.init (n - 1) (fun _ -> Rng.float g 1.0) in
+    let upper = Array.init (n - 1) (fun _ -> Rng.float g 1.0) in
+    let rhs = Array.init n (fun _ -> Rng.float g 10.0 -. 5.0) in
+    let x = Tridiag.solve ~lower ~diag ~upper ~rhs in
+    for i = 0 to n - 1 do
+      let ax =
+        (if i > 0 then lower.(i - 1) *. x.(i - 1) else 0.0)
+        +. (diag.(i) *. x.(i))
+        +. (if i < n - 1 then upper.(i) *. x.(i + 1) else 0.0)
+      in
+      check_close 1e-9 "residual" rhs.(i) ax
+    done
+  done
+
+let test_tridiag_validation () =
+  Alcotest.check_raises "lengths"
+    (Invalid_argument "Tridiag.solve: inconsistent lengths") (fun () ->
+      ignore (Tridiag.solve ~lower:[||] ~diag:[| 1.0; 1.0 |] ~upper:[| 1.0 |]
+                ~rhs:[| 1.0; 1.0 |]))
+
+(* --- qcheck properties --- *)
+
+let prop_kahan_matches_naive_small =
+  QCheck.Test.make ~count:200 ~name:"kahan agrees with naive on benign input"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let naive = List.fold_left ( +. ) 0.0 xs in
+      Float.abs (Kahan.sum_list xs -. naive) <= 1e-6 *. (1.0 +. Float.abs naive))
+
+let prop_kernel_nonnegative =
+  QCheck.Test.make ~count:200 ~name:"series kernel is non-negative"
+    QCheck.(pair (float_bound_exclusive 50.0) (float_bound_exclusive 50.0))
+    (fun (a, d) ->
+      let a = Float.abs a and d = Float.abs d in
+      Series.kernel ~beta:0.273 a (a +. d) >= -1e-12)
+
+let prop_interp_within_hull =
+  QCheck.Test.make ~count:200 ~name:"interpolation stays within segment hull"
+    QCheck.(triple (float_bound_exclusive 10.0) (float_bound_exclusive 10.0)
+              (float_bound_exclusive 1.0))
+    (fun (y0, y1, frac) ->
+      let c = Interp.of_points [ (0.0, y0); (1.0, y1) ] in
+      let v = Interp.eval c frac in
+      v >= Float.min y0 y1 -. 1e-9 && v <= Float.max y0 y1 +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      Stats.percentile 25.0 xs <= Stats.percentile 75.0 xs +. 1e-9)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_kahan_matches_naive_small;
+      prop_kernel_nonnegative;
+      prop_interp_within_hull;
+      prop_percentile_monotone ]
+
+let () =
+  Alcotest.run "numeric"
+    [ ( "kahan",
+        [ Alcotest.test_case "empty" `Quick test_kahan_empty;
+          Alcotest.test_case "simple" `Quick test_kahan_simple;
+          Alcotest.test_case "compensation" `Quick test_kahan_compensation;
+          Alcotest.test_case "many small" `Quick test_kahan_many_small;
+          Alcotest.test_case "negative count" `Quick test_kahan_sum_fn_negative;
+          Alcotest.test_case "array" `Quick test_kahan_array ] );
+      ( "series",
+        [ Alcotest.test_case "zero interval" `Quick test_series_kernel_zero_interval;
+          Alcotest.test_case "positive" `Quick test_series_kernel_positive;
+          Alcotest.test_case "monotone in b" `Quick test_series_kernel_monotone_in_b;
+          Alcotest.test_case "bounded by limit" `Quick test_series_kernel_bounded_by_limit;
+          Alcotest.test_case "decays with a" `Quick test_series_kernel_decays_with_a;
+          Alcotest.test_case "large beta vanishes" `Quick test_series_large_beta_vanishes;
+          Alcotest.test_case "invalid args" `Quick test_series_invalid;
+          Alcotest.test_case "exp_sum identity" `Quick test_series_exp_sum_matches_kernel_at_zero ] );
+      ( "rootfind",
+        [ Alcotest.test_case "bisect linear" `Quick test_bisect_linear;
+          Alcotest.test_case "brent polynomial" `Quick test_brent_polynomial;
+          Alcotest.test_case "endpoint root" `Quick test_brent_endpoint_root;
+          Alcotest.test_case "no sign change" `Quick test_bisect_no_sign_change;
+          Alcotest.test_case "invert monotone" `Quick test_invert_monotone;
+          Alcotest.test_case "invert already met" `Quick test_invert_monotone_already_met ] );
+      ( "interp",
+        [ Alcotest.test_case "exact at knots" `Quick test_interp_exact_at_knots;
+          Alcotest.test_case "midpoint" `Quick test_interp_midpoint;
+          Alcotest.test_case "extrapolation" `Quick test_interp_extrapolation;
+          Alcotest.test_case "unsorted input" `Quick test_interp_unsorted_input;
+          Alcotest.test_case "duplicate x" `Quick test_interp_duplicate_x;
+          Alcotest.test_case "tabulate" `Quick test_interp_tabulate ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "singleton variance" `Quick test_stats_singleton_variance;
+          Alcotest.test_case "min max" `Quick test_stats_min_max;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile bounds" `Quick test_stats_percentile_bounds;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "empty" `Quick test_stats_empty ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "different seeds" `Quick test_rng_different_seeds;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick empty" `Quick test_rng_pick_empty ] );
+      ( "ticks",
+        [ Alcotest.test_case "roundtrip" `Quick test_ticks_roundtrip;
+          Alcotest.test_case "exact rejects off-grid" `Quick test_ticks_exact_rejects_offgrid;
+          Alcotest.test_case "ceil and floor" `Quick test_ticks_ceil_floor;
+          Alcotest.test_case "sub truncates" `Quick test_ticks_sub_truncates;
+          Alcotest.test_case "negative" `Quick test_ticks_negative ] );
+      ( "tridiag",
+        [ Alcotest.test_case "identity" `Quick test_tridiag_identity;
+          Alcotest.test_case "known system" `Quick test_tridiag_known_system;
+          Alcotest.test_case "single" `Quick test_tridiag_single;
+          Alcotest.test_case "random residuals" `Quick test_tridiag_residual_random;
+          Alcotest.test_case "validation" `Quick test_tridiag_validation ] );
+      ("properties", qcheck_tests) ]

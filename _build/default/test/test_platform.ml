@@ -1,0 +1,186 @@
+(* Tests for the platform substrate: the CPU current/time model, the
+   application compiler and the discrete-event executor. *)
+
+open Batsched_taskgraph
+open Batsched_sched
+open Batsched_platform
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+let tiny_cpu ?(transition_latency = 0.0) ?(transition_charge = 0.0) () =
+  Cpu.make ~name:"tiny" ~i_base:10.0 ~i_dynamic:200.0 ~transition_latency
+    ~transition_charge
+    [ { Cpu.voltage = 1.0; frequency_mhz = 100.0 };
+      { Cpu.voltage = 0.5; frequency_mhz = 50.0 } ]
+
+let two_task_app =
+  Application.make
+    ~workloads:
+      [ { Application.name = "a"; megacycles = 60_000.0 };
+        { Application.name = "b"; megacycles = 30_000.0 } ]
+    ~edges:[ (0, 1) ]
+
+(* --- Cpu --- *)
+
+let test_cpu_sorts_fastest_first () =
+  let cpu =
+    Cpu.make ~name:"x" ~i_dynamic:100.0
+      [ { Cpu.voltage = 0.5; frequency_mhz = 50.0 };
+        { Cpu.voltage = 1.0; frequency_mhz = 100.0 } ]
+  in
+  check_float "fastest current" 100.0 (Cpu.current_at cpu 0)
+
+let test_cpu_cube_scaling () =
+  (* half voltage, half clock: dynamic current scales by 1/8 *)
+  let cpu = tiny_cpu () in
+  check_float "reference" 210.0 (Cpu.current_at cpu 0);
+  check_float "scaled" (10.0 +. (200.0 /. 8.0)) (Cpu.current_at cpu 1)
+
+let test_cpu_duration () =
+  let cpu = tiny_cpu () in
+  (* 60000 Mcycles at 100 MHz = 600 s = 10 min; at 50 MHz = 20 min *)
+  check_float "fast" 10.0 (Cpu.duration_of cpu 0 ~megacycles:60_000.0);
+  check_float "slow" 20.0 (Cpu.duration_of cpu 1 ~megacycles:60_000.0)
+
+let test_cpu_design_points_bridge () =
+  let cpu = tiny_cpu () in
+  let points = Cpu.design_points cpu ~megacycles:60_000.0 in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  let fastest = List.hd points in
+  check_float "duration" 10.0 fastest.Task.duration;
+  check_float "voltage" 1.0 fastest.Task.voltage
+
+let test_cpu_strongarm_sanity () =
+  let cpu = Cpu.strongarm in
+  Alcotest.(check int) "five points" 5 (Cpu.num_points cpu);
+  Alcotest.(check bool) "current falls with index" true
+    (Cpu.current_at cpu 0 > Cpu.current_at cpu 4);
+  Alcotest.(check bool) "floor retained" true (Cpu.current_at cpu 4 > 30.0)
+
+let test_cpu_validation () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Cpu.make: duplicate frequencies") (fun () ->
+      ignore
+        (Cpu.make ~name:"bad" ~i_dynamic:1.0
+           [ { Cpu.voltage = 1.0; frequency_mhz = 100.0 };
+             { Cpu.voltage = 0.9; frequency_mhz = 100.0 } ]))
+
+(* --- Application --- *)
+
+let test_application_compile_shape () =
+  let cpu = tiny_cpu () in
+  let g = Application.compile ~label:"two" two_task_app ~cpu in
+  Alcotest.(check int) "tasks" 2 (Graph.num_tasks g);
+  Alcotest.(check int) "points" 2 (Graph.num_points g);
+  Alcotest.(check int) "edges" 1 (Graph.num_edges g);
+  (* the compiled data round-trips the CPU model *)
+  check_float "duration" 10.0 (Task.point (Graph.task g 0) 0).Task.duration;
+  check_float "current" 210.0 (Task.point (Graph.task g 0) 0).Task.current
+
+let test_application_presets_compile () =
+  let cpu = Cpu.strongarm in
+  List.iter
+    (fun app ->
+      let g = Application.compile app ~cpu in
+      Alcotest.(check bool) "schedulable" true
+        (Analysis.is_topological g (Analysis.any_topological_order g)))
+    [ Application.video_pipeline; Application.sensor_fusion ]
+
+let test_application_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Application.make: no workloads")
+    (fun () -> ignore (Application.make ~workloads:[] ~edges:[]))
+
+(* --- Executor --- *)
+
+let schedule_for g cols =
+  Schedule.make g
+    ~sequence:(Analysis.any_topological_order g)
+    ~assignment:(Assignment.of_list g cols)
+
+let test_executor_free_transitions_match_analytic () =
+  let cpu = tiny_cpu () in
+  let g = Application.compile two_task_app ~cpu in
+  let sched = schedule_for g [ 0; 1 ] in
+  check_close 1e-12 "no drift" 0.0
+    (Executor.validate_against_analytic two_task_app ~cpu ~schedule:sched)
+
+let test_executor_event_layout () =
+  let cpu = tiny_cpu () in
+  let g = Application.compile two_task_app ~cpu in
+  let sched = schedule_for g [ 0; 0 ] in
+  let run = Executor.execute two_task_app ~cpu ~schedule:sched in
+  Alcotest.(check int) "two events" 2 (List.length run.Executor.events);
+  Alcotest.(check int) "no switches" 0 run.Executor.transitions;
+  check_float "finish" 15.0 run.Executor.finish
+
+let test_executor_counts_transitions () =
+  let cpu = tiny_cpu ~transition_latency:0.5 ~transition_charge:50.0 () in
+  let g = Application.compile two_task_app ~cpu in
+  let sched = schedule_for g [ 0; 1 ] in
+  let run = Executor.execute two_task_app ~cpu ~schedule:sched in
+  Alcotest.(check int) "one switch" 1 run.Executor.transitions;
+  check_float "overhead time" 0.5 run.Executor.overhead_time;
+  check_float "overhead charge" 50.0 run.Executor.overhead_charge;
+  (* 10 (fast a) + 0.5 (switch) + 20/2 = wait: task b at slow point:
+     30000 Mc at 50 MHz = 10 min; total = 10 + 0.5 + 10 *)
+  check_float "finish includes overhead" 20.5 run.Executor.finish
+
+let test_executor_profile_charge () =
+  let cpu = tiny_cpu ~transition_latency:0.5 ~transition_charge:50.0 () in
+  let g = Application.compile two_task_app ~cpu in
+  let sched = schedule_for g [ 0; 1 ] in
+  let run = Executor.execute two_task_app ~cpu ~schedule:sched in
+  (* a: 210 mA * 10 min; switch: 50; b: 35 mA * 10 min *)
+  check_close 1e-6 "profile coulombs" (2100.0 +. 50.0 +. 350.0)
+    (Batsched_battery.Profile.total_charge run.Executor.profile)
+
+let test_executor_task_count_mismatch () =
+  let cpu = tiny_cpu () in
+  let other =
+    Application.make
+      ~workloads:[ { Application.name = "solo"; megacycles = 1000.0 } ]
+      ~edges:[]
+  in
+  let g = Application.compile two_task_app ~cpu in
+  let sched = schedule_for g [ 0; 1 ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Executor.execute: task count mismatch") (fun () ->
+      ignore (Executor.execute other ~cpu ~schedule:sched))
+
+(* full loop: compile, schedule battery-aware, execute, costs agree *)
+let test_end_to_end_scheduling_on_platform () =
+  let cpu = Cpu.strongarm in
+  let app = Application.sensor_fusion in
+  let g = Application.compile ~label:"sf" app ~cpu in
+  let fastest, slowest = Analysis.serial_time_bounds g in
+  let deadline = fastest +. (0.5 *. (slowest -. fastest)) in
+  let cfg = Batsched.Config.make ~deadline () in
+  let result = Batsched.Iterate.run cfg g in
+  let run = Executor.execute app ~cpu ~schedule:result.Batsched.Iterate.schedule in
+  check_close 1e-6 "finish agrees" result.Batsched.Iterate.finish
+    run.Executor.finish;
+  let model = Batsched_battery.Rakhmatov.model () in
+  check_close 1e-6 "sigma agrees" result.Batsched.Iterate.sigma
+    (Batsched_battery.Model.sigma_end model run.Executor.profile)
+
+let () =
+  Alcotest.run "platform"
+    [ ( "cpu",
+        [ Alcotest.test_case "sorts fastest first" `Quick test_cpu_sorts_fastest_first;
+          Alcotest.test_case "cube scaling" `Quick test_cpu_cube_scaling;
+          Alcotest.test_case "duration" `Quick test_cpu_duration;
+          Alcotest.test_case "design-point bridge" `Quick test_cpu_design_points_bridge;
+          Alcotest.test_case "strongarm sanity" `Quick test_cpu_strongarm_sanity;
+          Alcotest.test_case "validation" `Quick test_cpu_validation ] );
+      ( "application",
+        [ Alcotest.test_case "compile shape" `Quick test_application_compile_shape;
+          Alcotest.test_case "presets compile" `Quick test_application_presets_compile;
+          Alcotest.test_case "validation" `Quick test_application_validation ] );
+      ( "executor",
+        [ Alcotest.test_case "free transitions match" `Quick test_executor_free_transitions_match_analytic;
+          Alcotest.test_case "event layout" `Quick test_executor_event_layout;
+          Alcotest.test_case "counts transitions" `Quick test_executor_counts_transitions;
+          Alcotest.test_case "profile charge" `Quick test_executor_profile_charge;
+          Alcotest.test_case "task count mismatch" `Quick test_executor_task_count_mismatch;
+          Alcotest.test_case "end to end" `Quick test_end_to_end_scheduling_on_platform ] ) ]
