@@ -7,13 +7,17 @@
       One section per artifact: table1..table4, fig3..fig5, plus the
       supporting curves/ablation/baselines/scaling experiments.
 
-   2. Timing — Bechamel micro/meso benchmarks, one Test.make per paper
+   2. Timing — Bechamel micro/meso benchmarks, one scenario per paper
       artifact (how long regenerating each costs) plus kernel benches
-      (RV sigma evaluation, window sweep, DP knapsack) across sizes.
+      (RV sigma evaluation, window sweep, DP knapsack) across sizes,
+      scaling instances up to n64, and a parallel-vs-sequential
+      multistart pair.
 
    Run everything:        dune exec bench/main.exe
    Reproductions only:    dune exec bench/main.exe -- tables
    Timing only:           dune exec bench/main.exe -- timing
+   Timing + JSON dump:    dune exec bench/main.exe -- timing --json BENCH_2026-08-06.json
+   One-shot sanity pass:  dune exec bench/main.exe -- --smoke   (or: dune build @bench-smoke)
    One experiment:        dune exec bench/main.exe -- table3 *)
 
 open Bechamel
@@ -33,7 +37,11 @@ let run_reproductions names =
       Printf.printf "=== %s: %s ===\n%s\n%!" e.name e.title (e.run ()))
     selected
 
-(* --- half 2: bechamel timing --- *)
+(* --- half 2: timing scenarios ---
+
+   Each scenario is a (name, thunk) pair; the same list drives the
+   Bechamel estimation run, the --smoke single-shot sanity pass, and
+   the --json dump. *)
 
 let model = Batsched_battery.Rakhmatov.model ()
 
@@ -48,16 +56,19 @@ let fork_join n_widths =
   Batsched_taskgraph.Generators.fork_join ~rng
     ~spec:Batsched_taskgraph.Generators.default_spec ~widths:n_widths
 
-let bench_kernels =
-  [ Test.make ~name:"rv-sigma/g3-schedule"
-      (Staged.stage (fun () ->
-           ignore (Batsched_battery.Model.sigma_end model g3_profile)));
-    Test.make ~name:"kibam-sigma/g3-schedule"
-      (Staged.stage (fun () ->
-           ignore
-             (Batsched_battery.Model.sigma_end
-                (Batsched_battery.Kibam.model ())
-                g3_profile)));
+let scenario_kernels =
+  [ ("rv-sigma/g3-schedule",
+     fun () -> ignore (Batsched_battery.Model.sigma_end model g3_profile));
+    ("rv-sigma-reference/g3-schedule",
+     (let at = Batsched_battery.Profile.length g3_profile in
+      fun () ->
+        ignore (Batsched_battery.Rakhmatov.sigma_reference g3_profile ~at)));
+    ("kibam-sigma/g3-schedule",
+     fun () ->
+       ignore
+         (Batsched_battery.Model.sigma_end
+            (Batsched_battery.Kibam.model ())
+            g3_profile));
     (let params =
        Batsched_battery.Diffusion.make_params ~nodes:32 ~dt:0.1 ~alpha:40375.0
          ~beta:0.273 ()
@@ -65,73 +76,72 @@ let bench_kernels =
      let pulse =
        Batsched_battery.Profile.constant ~current:800.0 ~duration:20.0
      in
-     Test.make ~name:"pde-sigma/20min-pulse"
-       (Staged.stage (fun () ->
-            ignore (Batsched_battery.Diffusion.sigma ~params pulse ~at:20.0))));
+     ("pde-sigma/20min-pulse",
+      fun () -> ignore (Batsched_battery.Diffusion.sigma ~params pulse ~at:20.0)));
     (let g = Batsched_taskgraph.Instances.g3 in
      let pes = Batsched_multiproc.Mschedule.Pe.uniform 2 in
-     Test.make ~name:"multiproc/battery-aware-2pe"
-       (Staged.stage (fun () ->
-            ignore
-              (Batsched_multiproc.Mheuristics.battery_aware ~model g ~pes
-                 ~deadline:150.0))));
-    Test.make ~name:"rv-kernel/10-terms"
-      (Staged.stage (fun () ->
-           ignore (Batsched_numeric.Series.kernel ~beta:0.273 5.0 25.0)));
+     ("multiproc/battery-aware-2pe",
+      fun () ->
+        ignore
+          (Batsched_multiproc.Mheuristics.battery_aware ~model g ~pes
+             ~deadline:150.0)));
+    ("rv-kernel/10-terms",
+     fun () -> ignore (Batsched_numeric.Series.kernel ~beta:0.273 5.0 25.0));
+    ("rv-kernel-direct/10-terms",
+     fun () ->
+       ignore (Batsched_numeric.Series.kernel_direct ~beta:0.273 5.0 25.0));
     (let g = Batsched_taskgraph.Instances.g3 in
-     Test.make ~name:"dp-knapsack/g3-d230"
-       (Staged.stage (fun () ->
-            ignore
-              (Batsched_baselines.Dp_energy.select_design_points g
-                 ~deadline:230.0))));
+     ("dp-knapsack/g3-d230",
+      fun () ->
+        ignore
+          (Batsched_baselines.Dp_energy.select_design_points g ~deadline:230.0)));
     (let g = Batsched_taskgraph.Instances.g3 in
      let cfg = Batsched.Config.make ~deadline:230.0 () in
      let seq = Batsched_sched.Priorities.sequence_dec_energy g in
-     Test.make ~name:"choose-dp/g3-window0"
-       (Staged.stage (fun () ->
-            ignore
-              (Batsched.Choose.choose_design_points cfg g ~sequence:seq
-                 ~window_start:0)))) ]
+     ("choose-dp/g3-window0",
+      fun () ->
+        ignore
+          (Batsched.Choose.choose_design_points cfg g ~sequence:seq
+             ~window_start:0))) ]
 
-(* one Test.make per paper artifact: the cost of regenerating it *)
-let bench_artifacts =
+(* one scenario per paper artifact: the cost of regenerating it *)
+let scenario_artifacts =
   [ (let g = Batsched_taskgraph.Instances.g3 in
-     Test.make ~name:"table2+3/iterate-g3"
-       (Staged.stage (fun () ->
-            let cfg = Batsched.Config.make ~deadline:230.0 () in
-            ignore (Batsched.Iterate.run cfg g))));
+     ("table2+3/iterate-g3",
+      fun () ->
+        let cfg = Batsched.Config.make ~deadline:230.0 () in
+        ignore (Batsched.Iterate.run cfg g)));
     (let g = Batsched_taskgraph.Instances.g2 in
-     Test.make ~name:"table4/g2-three-deadlines"
-       (Staged.stage (fun () ->
-            List.iter
-              (fun deadline ->
-                let cfg = Batsched.Config.make ~deadline () in
-                ignore (Batsched.Iterate.run cfg g);
-                ignore (Batsched_baselines.Dp_energy.run ~model g ~deadline))
-              Batsched_taskgraph.Instances.g2_deadlines)));
-    Test.make ~name:"fig5/g2-dot"
-      (Staged.stage (fun () ->
+     ("table4/g2-three-deadlines",
+      fun () ->
+        List.iter
+          (fun deadline ->
+            let cfg = Batsched.Config.make ~deadline () in
+            ignore (Batsched.Iterate.run cfg g);
+            ignore (Batsched_baselines.Dp_energy.run ~model g ~deadline))
+          Batsched_taskgraph.Instances.g2_deadlines));
+    ("fig5/g2-dot",
+     fun () ->
+       ignore
+         (Batsched_taskgraph.Textio.to_dot Batsched_taskgraph.Instances.g2));
+    ("curves/rate-capacity",
+     fun () ->
+       ignore
+         (Batsched_battery.Curves.rate_capacity
+            ~cell:Batsched_battery.Cell.itsy
+            ~currents:[ 100.0; 400.0; 1600.0 ]));
+    ("table1/instance-echo",
+     fun () ->
+       ignore
+         (Batsched_taskgraph.Textio.to_string Batsched_taskgraph.Instances.g3));
+    ("fig3/window-masks",
+     fun () ->
+       List.iter
+         (fun ws ->
            ignore
-             (Batsched_taskgraph.Textio.to_dot Batsched_taskgraph.Instances.g2)));
-    Test.make ~name:"curves/rate-capacity"
-      (Staged.stage (fun () ->
-           ignore
-             (Batsched_battery.Curves.rate_capacity
-                ~cell:Batsched_battery.Cell.itsy
-                ~currents:[ 100.0; 400.0; 1600.0 ])));
-    Test.make ~name:"table1/instance-echo"
-      (Staged.stage (fun () ->
-           ignore
-             (Batsched_taskgraph.Textio.to_string
-                Batsched_taskgraph.Instances.g3)));
-    Test.make ~name:"fig3/window-masks"
-      (Staged.stage (fun () ->
-           List.iter
-             (fun ws ->
-               ignore
-                 (Batsched.Window.mask Batsched_taskgraph.Instances.g2
-                    ~window_start:ws))
-             [ 0; 1; 2 ]));
+             (Batsched.Window.mask Batsched_taskgraph.Instances.g2
+                ~window_start:ws))
+         [ 0; 1; 2 ]);
     (let g =
        let t id =
          Batsched_taskgraph.Task.of_pairs ~id
@@ -141,53 +151,89 @@ let bench_artifacts =
        Batsched_taskgraph.Graph.make ~label:"fig4" ~edges:[] (List.init 5 t)
      in
      let a = Batsched_sched.Assignment.of_list g [ 1; 3; 1; 0; 3 ] in
-     Test.make ~name:"fig4/dpf-worked-example"
-       (Staged.stage (fun () ->
-            ignore
-              (Batsched_sched.Metrics.dpf_static g a ~free:[ 0; 1 ]
-                 ~window_start:0))));
+     ("fig4/dpf-worked-example",
+      fun () ->
+        ignore
+          (Batsched_sched.Metrics.dpf_static g a ~free:[ 0; 1 ]
+             ~window_start:0)));
     (let g = Batsched_taskgraph.Instances.g2 in
-     Test.make ~name:"ablation/one-knockout-g2"
-       (Staged.stage (fun () ->
-            let weights =
-              { Batsched.Config.paper_weights with Batsched.Config.dpf = 0.0 }
-            in
-            let cfg = Batsched.Config.make ~weights ~deadline:75.0 () in
-            ignore (Batsched.Iterate.run cfg g))));
+     ("ablation/one-knockout-g2",
+      fun () ->
+        let weights =
+          { Batsched.Config.paper_weights with Batsched.Config.dpf = 0.0 }
+        in
+        let cfg = Batsched.Config.make ~weights ~deadline:75.0 () in
+        ignore (Batsched.Iterate.run cfg g)));
     (let g = Batsched_taskgraph.Instances.g3 in
-     Test.make ~name:"mechanisms/full-window-only-g3"
-       (Staged.stage (fun () ->
-            let cfg =
-              Batsched.Config.make ~full_window_only:true ~deadline:230.0 ()
-            in
-            ignore (Batsched.Iterate.run cfg g))));
+     ("mechanisms/full-window-only-g3",
+      fun () ->
+        let cfg =
+          Batsched.Config.make ~full_window_only:true ~deadline:230.0 ()
+        in
+        ignore (Batsched.Iterate.run cfg g)));
     (let g = Batsched_taskgraph.Instances.g3 in
-     Test.make ~name:"beta/one-point"
-       (Staged.stage (fun () ->
-            let model = Batsched_battery.Rakhmatov.model ~beta:0.7 () in
-            let cfg = Batsched.Config.make ~model ~deadline:230.0 () in
-            ignore (Batsched.Iterate.run cfg g))));
+     ("beta/one-point",
+      fun () ->
+        let model = Batsched_battery.Rakhmatov.model ~beta:0.7 () in
+        let cfg = Batsched.Config.make ~model ~deadline:230.0 () in
+        ignore (Batsched.Iterate.run cfg g)));
     (let cycle = Batsched_battery.Profile.constant ~current:800.0 ~duration:20.0 in
-     Test.make ~name:"endurance/cycles-to-death"
-       (Staged.stage (fun () ->
-            ignore
-              (Batsched_battery.Periodic.cycles_to_death ~max_cycles:20 ~model
-                 ~alpha:65000.0 ~period:40.0 cycle)))) ]
+     ("endurance/cycles-to-death",
+      fun () ->
+        ignore
+          (Batsched_battery.Periodic.cycles_to_death ~max_cycles:20 ~model
+             ~alpha:65000.0 ~period:40.0 cycle))) ]
 
-let bench_scaling =
-  List.map
-    (fun (label, widths) ->
-      let g = fork_join widths in
-      let deadline =
-        Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
-      in
-      let cfg = Batsched.Config.make ~deadline () in
-      Test.make ~name:("scaling/iterate-" ^ label)
-        (Staged.stage (fun () -> ignore (Batsched.Iterate.run cfg g))))
-    [ ("n8", [ 3; 2 ]); ("n16", [ 5; 4; 4 ]); ("n26", [ 6; 6; 6; 4 ]) ]
+let scenario_scaling =
+  let iterate (label, widths) =
+    let g = fork_join widths in
+    let deadline =
+      Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+    in
+    let cfg = Batsched.Config.make ~deadline () in
+    ("scaling/iterate-" ^ label, fun () -> ignore (Batsched.Iterate.run cfg g))
+  in
+  let multistart (label, pool) =
+    (* the n16 instance, 8 starts: big enough for the fan-out to bite,
+       small enough for a 0.5 s Bechamel quota *)
+    let g = fork_join [ 5; 4; 4 ] in
+    let deadline =
+      Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+    in
+    let cfg = Batsched.Config.make ~pool ~deadline () in
+    ( "scaling/multistart-n16-" ^ label,
+      fun () ->
+        let rng = Batsched_numeric.Rng.create 7 in
+        ignore (Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g) )
+  in
+  List.map iterate
+    [ ("n8", [ 3; 2 ]);
+      ("n16", [ 5; 4; 4 ]);
+      ("n26", [ 6; 6; 6; 4 ]);
+      ("n64", [ 15; 15; 15; 14 ]) ]
+  @ List.map multistart
+      [ ("sequential", Batsched_numeric.Pool.sequential);
+        ("parallel", Batsched_numeric.Pool.create_recommended ()) ]
+
+let scenarios = scenario_kernels @ scenario_artifacts @ scenario_scaling
+
+(* --- smoke: run every scenario exactly once --- *)
+
+let run_smoke () =
+  List.iter
+    (fun (name, fn) ->
+      fn ();
+      Printf.printf "smoke %-40s ok\n%!" name)
+    scenarios
+
+(* --- bechamel estimation --- *)
 
 let run_timing () =
-  let tests = bench_kernels @ bench_artifacts @ bench_scaling in
+  let tests =
+    List.map
+      (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+      scenarios
+  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
@@ -214,19 +260,83 @@ let run_timing () =
       in
       rows := (name, estimate, r2) :: !rows)
     analysis;
+  let rows = List.sort compare !rows in
   Printf.printf "%-40s %14s %8s\n" "benchmark" "ns/run" "r^2";
   List.iter
     (fun (name, estimate, r2) ->
       Printf.printf "%-40s %14.1f %8.4f\n%!" name estimate r2)
-    (List.sort compare !rows)
+    rows;
+  rows
+
+(* --- JSON dump: one row per benchmark, for cross-PR tracking --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.1f" x else "null"
+
+let write_json path rows =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot write %s (%s)\n%!" path msg;
+      exit 2
+  in
+  output_string oc "{\n  \"rows\": [\n";
+  List.iteri
+    (fun i (name, estimate, r2) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float estimate)
+        (if Float.is_finite r2 then Printf.sprintf "%.4f" r2 else "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %d rows to %s\n%!" (List.length rows) path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_out, args =
+    let rec extract acc = function
+      | [ "--json" ] ->
+          prerr_endline "bench: --json requires an output path";
+          exit 2
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | x :: rest -> extract (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    extract [] args
+  in
+  (* fail on an unwritable --json target now, not after minutes of timing *)
+  (match json_out with
+  | Some path -> (
+      try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write %s (%s)\n%!" path msg;
+        exit 2)
+  | None -> ());
+  let finish rows =
+    match json_out with
+    | Some path -> write_json path rows
+    | None -> ()
+  in
   match args with
   | [] ->
       run_reproductions [];
       print_newline ();
-      run_timing ()
+      finish (run_timing ())
+  | [ "--smoke" ] -> run_smoke ()
   | [ "tables" ] -> run_reproductions []
-  | [ "timing" ] -> run_timing ()
+  | [ "timing" ] -> finish (run_timing ())
   | names -> run_reproductions names

@@ -1,5 +1,8 @@
 let sigma p ~at =
   if at < 0.0 then invalid_arg "Ideal.sigma: negative time";
-  Profile.total_charge (Profile.truncate p ~at)
+  Batsched_numeric.Kahan.sum
+    (Profile.fold_until p ~at ~init:Batsched_numeric.Kahan.zero
+       ~f:(fun acc ~start:_ ~duration ~current ->
+         Batsched_numeric.Kahan.add acc (current *. duration)))
 
 let model = { Model.name = "ideal"; sigma }

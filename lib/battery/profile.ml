@@ -1,8 +1,18 @@
 type interval = { start : float; duration : float; current : float }
 
-type t = interval list (* sorted by start, non-overlapping *)
+(* Struct-of-arrays representation: three unboxed float arrays indexed
+   by interval, sorted by start, non-overlapping.  Hot consumers
+   (sigma evaluators) walk the arrays directly via [fold_until] /
+   [fold]; [intervals] materializes the record list for cold callers. *)
+type t = {
+  starts : float array;
+  durations : float array;
+  currents : float array;
+}
 
-let empty = []
+let empty = { starts = [||]; durations = [||]; currents = [||] }
+
+let num_intervals t = Array.length t.starts
 
 let check_interval (start, duration, current) =
   if not (Float.is_finite start && Float.is_finite duration && Float.is_finite current)
@@ -10,6 +20,21 @@ let check_interval (start, duration, current) =
   if start < 0.0 then invalid_arg "Profile: negative start time";
   if duration < 0.0 then invalid_arg "Profile: negative duration";
   if current < 0.0 then invalid_arg "Profile: negative current"
+
+(* [triples] must already be sorted by start and free of zero-duration
+   entries; packs without further checks. *)
+let pack_sorted triples =
+  let n = List.length triples in
+  let starts = Array.make n 0.0 in
+  let durations = Array.make n 0.0 in
+  let currents = Array.make n 0.0 in
+  List.iteri
+    (fun i (s, d, c) ->
+      starts.(i) <- s;
+      durations.(i) <- d;
+      currents.(i) <- c)
+    triples;
+  { starts; durations; currents }
 
 let of_intervals triples =
   List.iter check_interval triples;
@@ -23,47 +48,89 @@ let of_intervals triples =
     | [ _ ] | [] -> ()
   in
   check_overlap sorted;
-  List.map (fun (start, duration, current) -> { start; duration; current }) sorted
+  pack_sorted sorted
+
+let sequential_fn ~n f =
+  if n < 0 then invalid_arg "Profile.sequential_fn: negative count";
+  let starts = Array.make (Stdlib.max n 1) 0.0 in
+  let durations = Array.make (Stdlib.max n 1) 0.0 in
+  let currents = Array.make (Stdlib.max n 1) 0.0 in
+  let kept = ref 0 in
+  let clock = ref 0.0 in
+  for i = 0 to n - 1 do
+    let current, duration = f i in
+    if duration < 0.0 then invalid_arg "Profile.sequential: negative duration";
+    if current < 0.0 then invalid_arg "Profile.sequential: negative current";
+    check_interval (!clock, duration, current);
+    if duration > 0.0 then begin
+      starts.(!kept) <- !clock;
+      durations.(!kept) <- duration;
+      currents.(!kept) <- current;
+      incr kept
+    end;
+    clock := !clock +. duration
+  done;
+  { starts = Array.sub starts 0 !kept;
+    durations = Array.sub durations 0 !kept;
+    currents = Array.sub currents 0 !kept }
 
 let sequential pairs =
-  let _, triples =
-    List.fold_left
-      (fun (t, acc) (current, duration) ->
-        if duration < 0.0 then invalid_arg "Profile.sequential: negative duration";
-        if current < 0.0 then invalid_arg "Profile.sequential: negative current";
-        (t +. duration, (t, duration, current) :: acc))
-      (0.0, []) pairs
-  in
-  of_intervals (List.rev triples)
+  let arr = Array.of_list pairs in
+  sequential_fn ~n:(Array.length arr) (fun i -> arr.(i))
 
 let constant ~current ~duration = of_intervals [ (0.0, duration, current) ]
 
 let with_idle t ~after ~idle =
   if idle < 0.0 then invalid_arg "Profile.with_idle: negative idle";
-  List.map
-    (fun iv -> if iv.start >= after then { iv with start = iv.start +. idle } else iv)
-    t
+  { t with
+    starts =
+      Array.map (fun s -> if s >= after then s +. idle else s) t.starts }
 
-let intervals t = t
+let interval t i =
+  { start = t.starts.(i); duration = t.durations.(i); current = t.currents.(i) }
 
-let length = function
-  | [] -> 0.0
-  | t ->
-      List.fold_left (fun acc iv -> Float.max acc (iv.start +. iv.duration)) 0.0 t
+let intervals t = List.init (num_intervals t) (interval t)
+
+let fold t ~init ~f =
+  let n = num_intervals t in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc :=
+      f !acc ~start:t.starts.(i) ~duration:t.durations.(i)
+        ~current:t.currents.(i)
+  done;
+  !acc
+
+let fold_until t ~at ~init ~f =
+  let n = num_intervals t in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let s = t.starts.(i) in
+      if s >= at then acc (* sorted by start: nothing later overlaps *)
+      else
+        let d = t.durations.(i) in
+        let d = if s +. d <= at then d else at -. s in
+        go (i + 1) (f acc ~start:s ~duration:d ~current:t.currents.(i))
+  in
+  go 0 init
+
+let length t =
+  fold t ~init:0.0 ~f:(fun acc ~start ~duration ~current:_ ->
+      Float.max acc (start +. duration))
 
 let total_charge t =
-  Batsched_numeric.Kahan.sum_list (List.map (fun iv -> iv.current *. iv.duration) t)
+  Batsched_numeric.Kahan.sum_fn (num_intervals t) (fun i ->
+      t.currents.(i) *. t.durations.(i))
 
 let truncate t ~at =
-  List.filter_map
-    (fun iv ->
-      if iv.start >= at then None
-      else if iv.start +. iv.duration <= at then Some iv
-      else Some { iv with duration = at -. iv.start })
-    t
+  of_intervals
+    (List.rev
+       (fold_until t ~at ~init:[] ~f:(fun acc ~start ~duration ~current ->
+            (start, duration, current) :: acc)))
 
 let superpose ps =
-  let all = List.concat ps in
+  let all = List.concat_map intervals ps in
   if all = [] then empty
   else begin
     (* breakpoints = every interval edge; between consecutive
@@ -91,14 +158,14 @@ let superpose ps =
     of_intervals (segments edges)
   end
 
-let peak_current t = List.fold_left (fun acc iv -> Float.max acc iv.current) 0.0 t
+let peak_current t = Array.fold_left Float.max 0.0 t.currents
 
 let pp fmt t =
-  match t with
-  | [] -> Format.fprintf fmt "(empty profile)"
-  | _ ->
-      List.iter
-        (fun iv ->
-          Format.fprintf fmt "[%8.2f .. %8.2f] %8.1f mA@."
-            iv.start (iv.start +. iv.duration) iv.current)
-        t
+  if num_intervals t = 0 then Format.fprintf fmt "(empty profile)"
+  else
+    for i = 0 to num_intervals t - 1 do
+      Format.fprintf fmt "[%8.2f .. %8.2f] %8.1f mA@."
+        t.starts.(i)
+        (t.starts.(i) +. t.durations.(i))
+        t.currents.(i)
+    done

@@ -14,7 +14,10 @@ type interval = private {
 
 type t
 (** A validated profile: intervals sorted by start time, pairwise
-    non-overlapping, all within [[0, infinity)]. *)
+    non-overlapping, all within [[0, infinity)].  Stored as three
+    unboxed float arrays (start/duration/current per interval), so the
+    hot sigma evaluators can walk it without per-call allocation — use
+    {!fold} / {!fold_until} rather than {!intervals} on hot paths. *)
 
 val empty : t
 (** The profile that draws nothing. *)
@@ -31,6 +34,14 @@ val sequential : (float * float) list -> t
     Zero-duration entries are dropped.
     @raise Invalid_argument on negative currents or durations. *)
 
+val sequential_fn : n:int -> (int -> float * float) -> t
+(** [sequential_fn ~n f] is [sequential [f 0; f 1; ...; f (n-1)]]
+    without building the intermediate list: [f i] returns the
+    [(current, duration)] of the [i]-th back-to-back interval and the
+    arrays are filled directly.  The schedule-to-profile conversion on
+    the search hot path uses this.
+    @raise Invalid_argument as {!sequential}, or on negative [n]. *)
+
 val constant : current:float -> duration:float -> t
 (** A single-interval profile starting at 0. *)
 
@@ -40,7 +51,29 @@ val with_idle : t -> after:float -> idle:float -> t
     @raise Invalid_argument on negative [idle]. *)
 
 val intervals : t -> interval list
-(** Intervals in increasing start-time order. *)
+(** Intervals in increasing start-time order.  Materializes a fresh
+    list; prefer {!fold} / {!fold_until} where allocation matters. *)
+
+val num_intervals : t -> int
+(** Number of (positive-duration) intervals. *)
+
+val fold :
+  t ->
+  init:'a ->
+  f:('a -> start:float -> duration:float -> current:float -> 'a) ->
+  'a
+(** Allocation-free left fold over the intervals in start order. *)
+
+val fold_until :
+  t ->
+  at:float ->
+  init:'a ->
+  f:('a -> start:float -> duration:float -> current:float -> 'a) ->
+  'a
+(** [fold_until t ~at ~init ~f] folds over the load up to time [at]
+    exactly as {!truncate} would expose it — intervals starting at or
+    after [at] are skipped, a straddling interval is clipped to
+    [at - start] — but lazily, with no profile copy. *)
 
 val length : t -> float
 (** End time of the last interval (0 for {!empty}). *)

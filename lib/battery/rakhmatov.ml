@@ -2,7 +2,11 @@ open Batsched_numeric
 
 let default_beta = 0.273
 
-let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
+(* Reference implementation: truncated profile copy, term-by-term
+   kernel.  Kept verbatim as the oracle the property tests compare the
+   fast path against. *)
+let sigma_reference ?(terms = Series.default_terms) ?(beta = default_beta) p
+    ~at =
   if at < 0.0 then invalid_arg "Rakhmatov.sigma: negative time";
   let clipped = Profile.truncate p ~at in
   let contribution (iv : Profile.interval) =
@@ -10,9 +14,43 @@ let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
     let b = at -. iv.start in
     (* truncate guarantees a >= 0 up to float noise *)
     let a = Float.max 0.0 a in
-    iv.current *. (iv.duration +. Series.kernel ~terms ~beta a b)
+    iv.current *. (iv.duration +. Series.kernel_direct ~terms ~beta a b)
   in
   Kahan.sum_list (List.map contribution (Profile.intervals clipped))
+
+(* Fast path: the truncation is evaluated lazily during the interval
+   fold (no profile copy), the kernel comes from the memoized
+   [Series.exp_sum_cached] tails, and whole per-interval contributions
+   are memoized on [(start, duration, current, at)] — candidate
+   schedules sharing a committed prefix/suffix with an already-costed
+   one pay only for the intervals that moved.  Domain-local, flushed
+   wholesale at [cache_limit] entries. *)
+let cache_limit = 1 lsl 16
+
+let contribution_cache :
+    ((float * int * float * float * float * float), float) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let contribution ~terms ~beta ~start ~duration ~current ~at =
+  let tbl = Domain.DLS.get contribution_cache in
+  let key = (beta, terms, start, duration, current, at) in
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let a = Float.max 0.0 (at -. start -. duration) in
+      let b = at -. start in
+      let v = current *. (duration +. Series.kernel ~terms ~beta a b) in
+      if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v;
+      v
+
+let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
+  if at < 0.0 then invalid_arg "Rakhmatov.sigma: negative time";
+  Kahan.sum
+    (Profile.fold_until p ~at ~init:Kahan.zero
+       ~f:(fun acc ~start ~duration ~current ->
+         Kahan.add acc (contribution ~terms ~beta ~start ~duration ~current ~at)))
 
 let model ?terms ?beta () =
   { Model.name = "rakhmatov"; sigma = (fun p ~at -> sigma ?terms ?beta p ~at) }

@@ -1,5 +1,6 @@
 open Batsched_taskgraph
 open Batsched_sched
+open Batsched_numeric
 
 type dpf_result = {
   enr : float;
@@ -8,74 +9,181 @@ type dpf_result = {
   hypothetical : Assignment.t;
 }
 
-let duration g i j = (Task.point (Graph.task g i) j).Task.duration
-
 let eps = 1e-9
 
-let calculate_dpf (cfg : Config.t) g ~sequence ~assignment ~tagged_pos
-    ~window_start =
-  let d = cfg.Config.deadline in
-  (* Tasks at positions < tagged_pos are free in S; everything else is
-     fixed (the suffix) or tagged.  Etemp starts with exactly the free
-     tasks unfixed. *)
-  let fixed_e = Array.make (Graph.num_tasks g) true in
-  for pos = 0 to tagged_pos - 1 do
-    fixed_e.(sequence.(pos)) <- false
-  done;
-  let stemp = ref assignment in
-  let te = ref (Assignment.total_time g assignment) in
-  let energy_order = Analysis.energy_vector g in
-  let finish infeasible =
-    let free =
-      List.init tagged_pos (fun pos -> sequence.(pos))
+(* Per-call context: everything [CalculateDPF] needs, hoisted out of
+   the O(n * m) tagging loop.  The seed implementation recomputed the
+   energy order (a sort), the energy bounds and the current range — and
+   rebuilt list/assignment copies — inside every one of those calls;
+   here each is computed once per [choose_design_points] and every
+   design-point lookup is a flat array read.  All float expressions
+   below replicate the seed's operation order exactly, so selections
+   (and thus schedules) are bit-identical. *)
+type ctx = {
+  n : int;
+  m : int;
+  deadline : float;
+  window_start : int;
+  seq : int array;
+  dur : float array array;    (* dur.(task).(col), from [Task.point] *)
+  cur : float array array;
+  energy : float array array; (* current *. voltage *. duration *)
+  energy_order : int array;   (* increasing average energy, ties by id *)
+  emin : float;
+  emax : float;
+  imin : float;
+  imax : float;
+  (* scratch reused across the thousands of CalculateDPF calls *)
+  scratch_cols : int array;
+  fixed_e : bool array;
+}
+
+let make_ctx (cfg : Config.t) g ~seq ~window_start =
+  let n = Graph.num_tasks g in
+  let m = Graph.num_points g in
+  let point i j = Task.point (Graph.task g i) j in
+  let table f = Array.init n (fun i -> Array.init m (fun j -> f (point i j))) in
+  let emin, emax = Analysis.energy_bounds g in
+  let imin, imax = Analysis.current_range g in
+  { n;
+    m;
+    deadline = cfg.Config.deadline;
+    window_start;
+    seq;
+    dur = table (fun p -> p.Task.duration);
+    cur = table (fun p -> p.Task.current);
+    energy = table (fun p -> p.Task.current *. p.Task.voltage *. p.Task.duration);
+    energy_order = Array.of_list (Analysis.energy_vector g);
+    emin;
+    emax;
+    imin;
+    imax;
+    scratch_cols = Array.make n 0;
+    fixed_e = Array.make n false }
+
+(* Metrics.current_ratio over the precomputed range. *)
+let current_ratio ctx i =
+  if ctx.imax -. ctx.imin <= 0.0 then 0.0
+  else (i -. ctx.imin) /. (ctx.imax -. ctx.imin)
+
+(* Metrics.energy_ratio over the precomputed bounds; the total is the
+   same Kahan sum in task-id order as [Assignment.total_energy]. *)
+let energy_ratio ctx cols =
+  if ctx.emax -. ctx.emin <= 0.0 then 0.0
+  else
+    (Kahan.sum_fn ctx.n (fun i -> ctx.energy.(i).(cols.(i))) -. ctx.emin)
+    /. (ctx.emax -. ctx.emin)
+
+(* Metrics.current_increase_fraction over the full sequence. *)
+let increase_fraction ctx cols =
+  if ctx.n <= 1 then 0.0
+  else begin
+    let current v = ctx.cur.(v).(cols.(v)) in
+    let count = ref 0 in
+    let prev = ref (current ctx.seq.(0)) in
+    for pos = 1 to ctx.n - 1 do
+      let c = current ctx.seq.(pos) in
+      if c > !prev then incr count;
+      prev := c
+    done;
+    float_of_int !count /. float_of_int (ctx.n - 1)
+  end
+
+(* Metrics.dpf_static over the free prefix (positions < tagged_pos),
+   whose task order is exactly the seed's [free] list. *)
+let dpf_static ctx cols ~tagged_pos =
+  if ctx.window_start < 0 || ctx.window_start >= ctx.m then
+    invalid_arg "Metrics.dpf_static: window_start out of range";
+  if tagged_pos = 0 || ctx.window_start = ctx.m - 1 then 0.0
+  else begin
+    let span = float_of_int (ctx.m - 1 - ctx.window_start) in
+    let weight k =
+      if k < ctx.window_start then
+        invalid_arg "Metrics.dpf_static: free task assigned outside the window"
+      else float_of_int (ctx.m - 1 - k) /. span
     in
-    let seq_list = Array.to_list sequence in
-    let enr = Metrics.energy_ratio g !stemp in
-    let cif = Metrics.current_increase_fraction g !stemp seq_list in
+    Kahan.sum_fn tagged_pos (fun pos -> weight cols.(ctx.seq.(pos)))
+    /. float_of_int tagged_pos
+  end
+
+(* The paper's CalculateDPF.  [ctx.scratch_cols] must hold the tagged
+   state on entry (free prefix at lowest power, tagged task at its
+   trial column, suffix committed); it is mutated into the
+   hypothetical completion.  Returns (enr, cif, dpf). *)
+let calculate_dpf_ctx ctx ~tagged_pos =
+  let d = ctx.deadline in
+  let cols = ctx.scratch_cols in
+  let fixed_e = ctx.fixed_e in
+  Array.fill fixed_e 0 ctx.n true;
+  for pos = 0 to tagged_pos - 1 do
+    fixed_e.(ctx.seq.(pos)) <- false
+  done;
+  let te = ref (Kahan.sum_fn ctx.n (fun i -> ctx.dur.(i).(cols.(i)))) in
+  let finish infeasible =
+    let enr = energy_ratio ctx cols in
+    let cif = increase_fraction ctx cols in
     let dpf =
       if infeasible then Float.infinity
       else if tagged_pos = 0 then Metrics.slack_ratio ~deadline:d ~time:!te
-      else Metrics.dpf_static g !stemp ~free ~window_start
+      else dpf_static ctx cols ~tagged_pos
     in
-    { enr; cif; dpf; hypothetical = !stemp }
+    (enr, cif, dpf)
+  in
+  (* First upgradable free task in increasing-average-energy order.
+     Tasks only ever get fixed, and columns only ever decrease, so the
+     first free candidate moves monotonically through [energy_order] —
+     the pointer [k] replaces the seed's scan-from-scratch without
+     changing which task each round picks. *)
+  let k = ref 0 in
+  let rec candidate () =
+    if !k >= ctx.n then None
+    else begin
+      let q = ctx.energy_order.(!k) in
+      if fixed_e.(q) then begin incr k; candidate () end
+      else if cols.(q) <= ctx.window_start then begin
+        (* already at the fastest allowed column: cannot upgrade *)
+        fixed_e.(q) <- true;
+        incr k;
+        candidate ()
+      end
+      else Some q
+    end
   in
   let rec upgrade () =
     if !te <= d +. eps then finish false
-    else begin
-      (* First upgradable free task in increasing-average-energy order. *)
-      let candidate =
-        List.find_opt
-          (fun q ->
-            if fixed_e.(q) then false
-            else if Assignment.column !stemp q <= window_start then begin
-              (* already at the fastest allowed column: cannot upgrade *)
-              fixed_e.(q) <- true;
-              false
-            end
-            else true)
-          energy_order
-      in
-      match candidate with
+    else
+      match candidate () with
       | None -> finish true
       | Some q ->
-          let col = Assignment.column !stemp q in
+          let col = cols.(q) in
           let col' = col - 1 in
-          te := !te -. duration g q col +. duration g q col';
-          stemp := Assignment.set !stemp q col';
-          if col' = window_start then fixed_e.(q) <- true;
+          te := !te -. ctx.dur.(q).(col) +. ctx.dur.(q).(col');
+          cols.(q) <- col';
+          if col' = ctx.window_start then fixed_e.(q) <- true;
           upgrade ()
-    end
   in
   upgrade ()
 
-let suitability_of (cfg : Config.t) ~sr ~cr ~(factors : dpf_result) =
-  if factors.dpf = Float.infinity then Float.infinity
+let calculate_dpf (cfg : Config.t) g ~sequence ~assignment ~tagged_pos
+    ~window_start =
+  let ctx = make_ctx cfg g ~seq:sequence ~window_start in
+  List.iteri
+    (fun i col -> ctx.scratch_cols.(i) <- col)
+    (Assignment.to_list assignment);
+  let enr, cif, dpf = calculate_dpf_ctx ctx ~tagged_pos in
+  { enr;
+    cif;
+    dpf;
+    hypothetical = Assignment.of_list g (Array.to_list ctx.scratch_cols) }
+
+let suitability (cfg : Config.t) ~sr ~cr ~enr ~cif ~dpf =
+  if dpf = Float.infinity then Float.infinity
   else begin
     let w = cfg.Config.weights in
     (w.Config.sr *. sr) +. (w.Config.cr *. cr)
-    +. (w.Config.enr *. factors.enr)
-    +. (w.Config.cif *. factors.cif)
-    +. (w.Config.dpf *. factors.dpf)
+    +. (w.Config.enr *. enr)
+    +. (w.Config.cif *. cif)
+    +. (w.Config.dpf *. dpf)
   end
 
 let choose_design_points (cfg : Config.t) g ~sequence ~window_start =
@@ -85,12 +193,13 @@ let choose_design_points (cfg : Config.t) g ~sequence ~window_start =
   if not (Analysis.is_topological g sequence) then
     invalid_arg "Choose.choose_design_points: invalid sequence";
   let seq = Array.of_list sequence in
-  let n = Array.length seq in
+  let ctx = make_ctx cfg g ~seq ~window_start in
+  let n = ctx.n in
   let d = cfg.Config.deadline in
   let lowest = m - 1 in
   (* Committed columns of the fixed suffix; free tasks read as lowest
      power, which is also their hypothetical parking column. *)
-  let committed = ref (Assignment.all_lowest_power g) in
+  let cols = Array.make n lowest in
   (* The paper fixes the last task at the lowest-power column outright
      ("S(n,m) = 1"), which can bust a tight deadline before selection
      even starts.  We take the slowest column that leaves the rest of
@@ -98,44 +207,39 @@ let choose_design_points (cfg : Config.t) g ~sequence ~window_start =
      to the paper whenever its own examples apply (see DESIGN.md). *)
   let last = seq.(n - 1) in
   let rest_fastest =
-    let open Batsched_numeric in
-    Kahan.sum_fn (n - 1) (fun pos -> duration g seq.(pos) window_start)
+    Kahan.sum_fn (n - 1) (fun pos -> ctx.dur.(seq.(pos)).(window_start))
   in
   let last_col =
     let rec pick j =
       if j <= window_start then window_start
-      else if duration g last j +. rest_fastest <= d +. 1e-9 then j
+      else if ctx.dur.(last).(j) +. rest_fastest <= d +. 1e-9 then j
       else pick (j - 1)
     in
     pick lowest
   in
-  if duration g last last_col +. rest_fastest > d +. 1e-9 then
+  if ctx.dur.(last).(last_col) +. rest_fastest > d +. 1e-9 then
     raise Config.Deadline_unmeetable;
-  committed := Assignment.set !committed last last_col;
-  let tsum = ref (duration g last last_col) in
+  cols.(last) <- last_col;
+  let tsum = ref ctx.dur.(last).(last_col) in
   for pos = n - 2 downto 0 do
     let t = seq.(pos) in
     let best = ref None in
     for j = lowest downto window_start do
-      let tagged = Assignment.set !committed t j in
-      let ttemp = !tsum +. duration g t j in
+      Array.blit cols 0 ctx.scratch_cols 0 n;
+      ctx.scratch_cols.(t) <- j;
+      let ttemp = !tsum +. ctx.dur.(t).(j) in
       let sr = Metrics.slack_ratio ~deadline:d ~time:ttemp in
-      let cr =
-        Metrics.current_ratio g (Task.point (Graph.task g t) j).Task.current
-      in
-      let factors =
-        calculate_dpf cfg g ~sequence:seq ~assignment:tagged ~tagged_pos:pos
-          ~window_start
-      in
-      let b = suitability_of cfg ~sr ~cr ~factors in
+      let cr = current_ratio ctx ctx.cur.(t).(j) in
+      let enr, cif, dpf = calculate_dpf_ctx ctx ~tagged_pos:pos in
+      let b = suitability cfg ~sr ~cr ~enr ~cif ~dpf in
       match !best with
       | Some (_, best_b) when best_b <= b -> ()
       | _ -> if b < Float.infinity then best := Some (j, b)
     done;
     match !best with
     | None -> raise Config.Deadline_unmeetable
-    | Some (k, _) ->
-        committed := Assignment.set !committed t k;
-        tsum := !tsum +. duration g t k
+    | Some (col, _) ->
+        cols.(t) <- col;
+        tsum := !tsum +. ctx.dur.(t).(col)
   done;
-  !committed
+  Assignment.of_list g (Array.to_list cols)

@@ -18,13 +18,15 @@ type t = {
   weights : term_weights;
   max_iterations : int;
   full_window_only : bool;
+  pool : Batsched_numeric.Pool.t;
 }
 
 let make ?model ?(weights = paper_weights) ?(max_iterations = 100)
-    ?(full_window_only = false) ~deadline () =
+    ?(full_window_only = false) ?(pool = Batsched_numeric.Pool.sequential)
+    ~deadline () =
   if not (deadline > 0.0) then invalid_arg "Config.make: deadline must be positive";
   if max_iterations < 1 then invalid_arg "Config.make: max_iterations < 1";
   let model =
     match model with Some m -> m | None -> Rakhmatov.model ()
   in
-  { model; deadline; weights; max_iterations; full_window_only }
+  { model; deadline; weights; max_iterations; full_window_only; pool }

@@ -30,13 +30,19 @@ type t = {
       (** ablation switch: evaluate only the full design-point window
           instead of the paper's narrow-to-wide sweep (default
           false = the paper's behaviour) *)
+  pool : Batsched_numeric.Pool.t;
+      (** domain pool for the window sweep and multistart fan-out
+          (default {!Batsched_numeric.Pool.sequential} = fully
+          sequential).  Results are bit-identical at any pool size;
+          see [Pool]'s determinism guarantees. *)
 }
 
 val make :
   ?model:Model.t -> ?weights:term_weights -> ?max_iterations:int ->
-  ?full_window_only:bool -> deadline:float -> unit -> t
+  ?full_window_only:bool -> ?pool:Batsched_numeric.Pool.t ->
+  deadline:float -> unit -> t
 (** [make ~deadline ()] with defaults: Rakhmatov–Vrudhula model with the
     paper's beta, {!paper_weights}, [max_iterations = 100], the full
-    window sweep.
+    window sweep, a sequential pool.
     @raise Invalid_argument on non-positive deadline or
     [max_iterations < 1]. *)

@@ -99,39 +99,58 @@ let run_from ~on_iteration ~initial (cfg : Config.t) g =
 let run ?(on_iteration = fun _ -> ()) (cfg : Config.t) g =
   run_from ~on_iteration ~initial:(Priorities.sequence_dec_energy g) cfg g
 
-(* A uniformly random linearization by randomized ready-list choice. *)
+(* A uniformly random linearization by randomized ready-list choice.
+   The ready list is maintained explicitly (sorted by id, matching the
+   ascending scan of the previous [List.filter]-per-step version so
+   the streams coincide seed for seed) and updated as predecessors
+   retire — O(ready + out-degree) per step instead of O(n). *)
 let random_sequence ~rng g =
   let open Batsched_taskgraph in
   let n = Graph.num_tasks g in
   let remaining = Array.init n (fun i -> List.length (Graph.preds g i)) in
-  let scheduled = Array.make n false in
-  let rec step acc count =
+  let rec insert v = function
+    | w :: rest when w < v -> w :: insert v rest
+    | rest -> v :: rest
+  in
+  let initial_ready =
+    List.filter (fun v -> remaining.(v) = 0) (List.init n Fun.id)
+  in
+  let rec step acc count ready =
     if count = n then List.rev acc
     else begin
-      let ready =
-        List.filter
-          (fun v -> (not scheduled.(v)) && remaining.(v) = 0)
-          (List.init n Fun.id)
-      in
       let v = Batsched_numeric.Rng.pick rng ready in
-      scheduled.(v) <- true;
-      List.iter (fun w -> remaining.(w) <- remaining.(w) - 1) (Graph.succs g v);
-      step (v :: acc) (count + 1)
+      let ready = List.filter (fun w -> w <> v) ready in
+      let ready =
+        List.fold_left
+          (fun ready w ->
+            remaining.(w) <- remaining.(w) - 1;
+            if remaining.(w) = 0 then insert w ready else ready)
+          ready (Graph.succs g v)
+      in
+      step (v :: acc) (count + 1) ready
     end
   in
-  step [] 0
+  step [] 0 initial_ready
 
 let run_multistart ?(on_iteration = fun _ -> ()) ~rng ~starts (cfg : Config.t)
     g =
   if starts < 1 then invalid_arg "Iterate.run_multistart: starts < 1";
+  (* Seeds are drawn sequentially from [rng] before any fan-out, so
+     the seed list is independent of the pool size. *)
   let seeds =
     Priorities.sequence_dec_energy g
     :: List.init (starts - 1) (fun _ -> random_sequence ~rng g)
   in
-  let runs = List.map (fun initial -> run_from ~on_iteration ~initial cfg g) seeds in
+  let runs =
+    Batsched_numeric.Pool.map_list cfg.Config.pool
+      (fun initial -> run_from ~on_iteration ~initial cfg g)
+      seeds
+  in
   match runs with
   | [] -> assert false
   | first :: rest ->
+      (* strict [<] keeps the earlier seed on ties — deterministic and
+         independent of evaluation order, hence of the pool size *)
       List.fold_left (fun acc r -> if r.sigma < acc.sigma then r else acc)
         first rest
 

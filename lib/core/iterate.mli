@@ -49,6 +49,13 @@ val run_multistart :
     reduces exactly to {!run}.  The paper's single greedy seed
     occasionally loses to blind random search on tight instances;
     a handful of extra starts closes that gap at proportional cost.
+
+    Starts are independent and fan out over [cfg.pool].  The seed
+    sequences are drawn from [rng] before the fan-out and the winner
+    is picked by lowest sigma with ties resolving to the earlier seed,
+    so the returned result is bit-identical at any pool size; with a
+    parallel pool, [on_iteration] runs on worker domains (possibly
+    concurrently) and must be thread-safe.
     @raise Invalid_argument if [starts < 1].
     @raise Config.Deadline_unmeetable as {!run}. *)
 

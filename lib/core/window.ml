@@ -41,7 +41,14 @@ let evaluate (cfg : Config.t) g ~sequence =
       sigma = Schedule.battery_cost ~model:cfg.Config.model g sched;
       finish = Schedule.finish_time g sched }
   in
-  let per_window = List.init (start + 1) (fun k -> run (start - k)) in
+  (* Fan the independent window evaluations out over the config's
+     domain pool; [Pool.map_list] keeps results in the sequential
+     narrow-to-wide order, so [best] (and its tie-breaks) are
+     bit-identical to the sequential sweep. *)
+  let per_window =
+    Batsched_numeric.Pool.map_list cfg.Config.pool run
+      (List.init (start + 1) (fun k -> start - k))
+  in
   let best =
     match per_window with
     | [] -> assert false (* start >= 0 always yields one window *)

@@ -30,7 +30,9 @@ val initial_window_start : Config.t -> Graph.t -> int
     their fastest) misses it. *)
 
 val evaluate : Config.t -> Graph.t -> sequence:int list -> t
-(** Run the full window sweep for one sequence.
+(** Run the full window sweep for one sequence.  Window evaluations
+    are independent and fan out over [cfg.pool]; [per_window] order,
+    [best] and its ties are bit-identical to a sequential sweep.
     @raise Config.Deadline_unmeetable as {!initial_window_start}. *)
 
 val mask : Graph.t -> window_start:int -> (int * bool) list

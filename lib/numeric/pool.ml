@@ -1,0 +1,60 @@
+type t = { requested : int }
+
+let sequential = { requested = 1 }
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size < 1";
+  { requested = size }
+
+let recommended () = Domain.recommended_domain_count ()
+
+let create_recommended () = create (recommended ())
+
+let size t = t.requested
+
+(* Set while a domain is executing a parallel region, so nested [map]
+   calls degrade to the sequential path instead of oversubscribing the
+   machine (and so the worker-count arithmetic stays deterministic). *)
+let inside_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  let workers = Stdlib.min pool.requested n in
+  if workers <= 1 || Domain.DLS.get inside_region then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    (* Strided slices: worker [w] computes indices w, w+workers, ...
+       Window sweeps and multistart seeds have index-correlated cost,
+       so striding balances better than contiguous chunks. *)
+    let slice w () =
+      Domain.DLS.set inside_region true;
+      let i = ref w in
+      while !i < n do
+        results.(!i) <- Some (try Ok (f xs.(!i)) with e -> Error e);
+        i := !i + workers
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun k -> Domain.spawn (slice (k + 1)))
+    in
+    let finally () =
+      List.iter Domain.join spawned;
+      Domain.DLS.set inside_region false
+    in
+    Fun.protect ~finally (slice 0);
+    (* Surface results in input order; the first stored exception (in
+       index order, matching what a sequential map would have hit
+       first) is re-raised. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_list pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (map_array pool f (Array.of_list xs))

@@ -1,0 +1,50 @@
+(** Fork-join fan-out over OCaml 5 domains.
+
+    A pool is a {e requested} degree of parallelism; each parallel
+    region spawns up to [size - 1] fresh domains (the calling domain
+    works too) and joins them before returning.  No domains linger
+    between calls, so a pool value is cheap to create, store in a
+    config, and share.
+
+    {2 Determinism}
+
+    [map_*] returns results in input order, regardless of which domain
+    computed what, and the work function sees exactly the same
+    arguments as a sequential [map] — parallel and sequential runs are
+    bit-identical for pure (or domain-local-state-only) functions.  If
+    several items raise, the exception of the {e smallest index} is
+    re-raised, matching the first failure a sequential scan would
+    surface.
+
+    {2 Nesting}
+
+    A [map] issued from inside a worker of another region runs
+    sequentially on that worker: composing a multistart fan-out with a
+    window-sweep fan-out cannot oversubscribe the machine. *)
+
+type t
+
+val sequential : t
+(** The size-1 pool: every [map] runs inline, no domains spawned. *)
+
+val create : int -> t
+(** [create size] requests up to [size] concurrent domains per region.
+    @raise Invalid_argument if [size < 1]. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    useful parallelism on this machine. *)
+
+val create_recommended : unit -> t
+(** [create (recommended ())]. *)
+
+val size : t -> int
+(** The requested degree of parallelism. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  Work is dealt in strides (worker
+    [w] takes indices [w], [w + workers], ...), which balances
+    index-correlated costs. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** As {!map_array}, on lists. *)

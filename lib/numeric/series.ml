@@ -18,7 +18,7 @@ let exp_sum ?(terms = default_terms) ~beta t =
   in
   2.0 *. Kahan.sum_fn terms term
 
-let kernel ?(terms = default_terms) ~beta a b =
+let kernel_direct ?(terms = default_terms) ~beta a b =
   check_beta beta;
   check_terms terms;
   if a < 0.0 || b < a then invalid_arg "Series.kernel: need 0 <= a <= b";
@@ -29,6 +29,43 @@ let kernel ?(terms = default_terms) ~beta a b =
     (exp (-.b2 *. m2 *. a) -. exp (-.b2 *. m2 *. b)) /. (b2 *. m2)
   in
   2.0 *. Kahan.sum_fn terms term
+
+(* Memoized one-sided tails.  [kernel ~beta a b] telescopes as
+   [F(a) - F(b)] over [F = exp_sum], so the per-(beta, terms) table
+   shares endpoint evaluations: back-to-back profile intervals reuse
+   each boundary twice, and the thousands of near-identical
+   evaluations a window sweep makes hit the table directly.  The cache
+   is domain-local (no locking, safe under [Pool] fan-out) and is
+   flushed wholesale when it reaches [cache_limit] entries. *)
+let cache_limit = 1 lsl 16
+
+let cache : ((float * int * float), float) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let exp_sum_cached ?(terms = default_terms) ~beta t =
+  check_beta beta;
+  check_terms terms;
+  if t < 0.0 then invalid_arg "Series.exp_sum: negative time";
+  let tbl = Domain.DLS.get cache in
+  let key = (beta, terms, t) in
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = exp_sum ~terms ~beta t in
+      if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v;
+      v
+
+let kernel ?(terms = default_terms) ~beta a b =
+  check_beta beta;
+  check_terms terms;
+  if a < 0.0 || b < a then invalid_arg "Series.kernel: need 0 <= a <= b";
+  if a = b then 0.0
+  else
+    (* F is strictly decreasing, so the difference is >= 0 up to
+       rounding; clamp the few-ulp negatives away. *)
+    Float.max 0.0
+      (exp_sum_cached ~terms ~beta a -. exp_sum_cached ~terms ~beta b)
 
 let kernel_limit ~beta =
   check_beta beta;

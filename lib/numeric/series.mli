@@ -14,7 +14,18 @@
 
     The paper truncates the series at 10 terms; callers can request more.
     Terms decay like [exp(-beta^2 m^2 a)], so convergence is extremely
-    fast unless [a = 0]. *)
+    fast unless [a = 0].
+
+    {2 Caching}
+
+    The two-sided kernel telescopes as [F(a, b) = F(a) - F(b)] over the
+    one-sided tail {!exp_sum}, so {!kernel} is served from a memoized,
+    domain-local table of tail values keyed on [(beta, terms, t)]:
+    adjacent intervals of a back-to-back profile share their boundary
+    evaluations, and repeated sigma evaluations over the same candidate
+    schedules hit the table outright.  {!kernel_direct} bypasses the
+    cache and sums the differences term by term — it is the reference
+    the property tests compare against. *)
 
 val default_terms : int
 (** Number of series terms used by the paper (10). *)
@@ -26,10 +37,24 @@ val exp_sum : ?terms:int -> beta:float -> float -> float
     @raise Invalid_argument on negative [t], non-positive [beta] or
     non-positive [terms]. *)
 
+val exp_sum_cached : ?terms:int -> beta:float -> float -> float
+(** As {!exp_sum}, served from the domain-local memo table.  Returns
+    values bit-identical to {!exp_sum} (the table stores exactly what
+    {!exp_sum} computed).
+    @raise Invalid_argument as {!exp_sum}. *)
+
 val kernel : ?terms:int -> beta:float -> float -> float -> float
-(** [kernel ~beta a b] is [F(beta, a, b)] above, computed with
-    compensated summation.  Requires [0 <= a <= b].
+(** [kernel ~beta a b] is [F(beta, a, b)] above, computed as the
+    difference of two memoized {!exp_sum_cached} tails and clamped at
+    [0].  Requires [0 <= a <= b].  Agrees with {!kernel_direct} to a
+    few ulps (well within 1e-9).
     @raise Invalid_argument if the ordering constraint is violated. *)
+
+val kernel_direct : ?terms:int -> beta:float -> float -> float -> float
+(** The uncached reference: sums [(exp(-b2 m2 a) - exp(-b2 m2 b))
+    / (b2 m2)] term by term with compensated summation, two [exp]
+    calls per term, no memoization.
+    @raise Invalid_argument as {!kernel}. *)
 
 val kernel_limit : beta:float -> float
 (** [kernel_limit ~beta] is [lim_{b -> infinity} F(beta, 0, b)

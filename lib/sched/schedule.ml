@@ -9,12 +9,10 @@ let make g ~sequence ~assignment =
   { sequence; assignment }
 
 let to_profile g t =
-  Profile.sequential
-    (List.map
-       (fun i ->
-         let p = Assignment.chosen_point g t.assignment i in
-         (p.Task.current, p.Task.duration))
-       t.sequence)
+  let seq = Array.of_list t.sequence in
+  Profile.sequential_fn ~n:(Array.length seq) (fun k ->
+      let p = Assignment.chosen_point g t.assignment seq.(k) in
+      (p.Task.current, p.Task.duration))
 
 let finish_time g t = Assignment.total_time g t.assignment
 

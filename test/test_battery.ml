@@ -527,12 +527,82 @@ let prop_idle_never_hurts =
       let model = Rakhmatov.model () in
       Model.sigma_end model q <= Model.sigma_end model p +. 1e-6)
 
+let prop_sigma_matches_reference =
+  (* the cached/incremental evaluator against the truncate-and-sum
+     seed implementation, observed at several instants including ones
+     that clip a straddling interval *)
+  QCheck.Test.make ~count:200 ~name:"fast RV sigma agrees with reference"
+    QCheck.(pair gen_loads (float_range 0.0 1.0))
+    (fun (loads, frac) ->
+      let p = Profile.sequential loads in
+      let ends = Profile.length p in
+      let ats = [ frac *. ends; ends; ends +. 10.0 ] in
+      List.for_all
+        (fun at ->
+          let fast = Rakhmatov.sigma p ~at in
+          let slow = Rakhmatov.sigma_reference p ~at in
+          Float.abs (fast -. slow) <= 1e-9 *. (1.0 +. Float.abs slow))
+        ats)
+
+let prop_sigma_matches_reference_with_gaps =
+  QCheck.Test.make ~count:100
+    ~name:"fast RV sigma agrees with reference across idle gaps"
+    QCheck.(triple gen_loads (float_range 0.1 60.0) (float_range 0.0 1.0))
+    (fun (loads, idle, frac) ->
+      QCheck.assume (List.length loads >= 2);
+      let p = Profile.sequential loads in
+      let q = Profile.with_idle p ~after:(frac *. Profile.length p) ~idle in
+      let at = Profile.length q in
+      Float.abs (Rakhmatov.sigma q ~at -. Rakhmatov.sigma_reference q ~at)
+      <= 1e-9 *. (1.0 +. Rakhmatov.sigma_reference q ~at))
+
+let test_sigma_reference_single_interval () =
+  let p = Profile.constant ~current:500.0 ~duration:10.0 in
+  (* a = 0 edge: observation instant coincides with the interval end *)
+  check_float "at end"
+    (Rakhmatov.sigma_reference p ~at:10.0)
+    (Rakhmatov.sigma p ~at:10.0);
+  check_float "mid-interval clip"
+    (Rakhmatov.sigma_reference p ~at:4.0)
+    (Rakhmatov.sigma p ~at:4.0);
+  check_float "empty prefix" 0.0 (Rakhmatov.sigma p ~at:0.0)
+
+let test_profile_fold_until_matches_truncate () =
+  let p = Profile.sequential [ (100.0, 2.0); (200.0, 3.0); (50.0, 4.0) ] in
+  List.iter
+    (fun at ->
+      let folded =
+        List.rev
+          (Profile.fold_until p ~at ~init:[]
+             ~f:(fun acc ~start ~duration ~current ->
+               (start, duration, current) :: acc))
+      in
+      let copied =
+        List.map
+          (fun iv -> (iv.Profile.start, iv.Profile.duration, iv.Profile.current))
+          (Profile.intervals (Profile.truncate p ~at))
+      in
+      Alcotest.(check (list (triple (float 1e-12) (float 1e-12) (float 1e-12))))
+        (Printf.sprintf "at %.1f" at) copied folded)
+    [ 0.0; 1.0; 2.0; 3.5; 9.0; 20.0 ]
+
+let test_profile_sequential_fn_matches_sequential () =
+  let pairs = [ (100.0, 2.0); (200.0, 0.0); (50.0, 4.0) ] in
+  let arr = Array.of_list pairs in
+  let a = Profile.sequential pairs in
+  let b = Profile.sequential_fn ~n:(Array.length arr) (fun i -> arr.(i)) in
+  Alcotest.(check int) "count" (Profile.num_intervals a) (Profile.num_intervals b);
+  check_float "length" (Profile.length a) (Profile.length b);
+  check_float "charge" (Profile.total_charge a) (Profile.total_charge b)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_sigma_monotone_in_time;
       prop_sigma_at_least_ideal_at_end;
       prop_decreasing_order_never_worse;
-      prop_idle_never_hurts ]
+      prop_idle_never_hurts;
+      prop_sigma_matches_reference;
+      prop_sigma_matches_reference_with_gaps ]
 
 let () =
   Alcotest.run "battery"
@@ -547,7 +617,9 @@ let () =
           Alcotest.test_case "truncate clips" `Quick test_profile_truncate_clips;
           Alcotest.test_case "truncate drops later" `Quick test_profile_truncate_drops_later;
           Alcotest.test_case "with idle" `Quick test_profile_with_idle;
-          Alcotest.test_case "peak current" `Quick test_profile_peak_current ] );
+          Alcotest.test_case "peak current" `Quick test_profile_peak_current;
+          Alcotest.test_case "fold_until matches truncate" `Quick test_profile_fold_until_matches_truncate;
+          Alcotest.test_case "sequential_fn matches sequential" `Quick test_profile_sequential_fn_matches_sequential ] );
       ( "ideal",
         [ Alcotest.test_case "equals charge" `Quick test_ideal_equals_charge;
           Alcotest.test_case "truncation" `Quick test_ideal_truncation ] );
@@ -558,7 +630,8 @@ let () =
           Alcotest.test_case "exponent 1 is ideal" `Quick test_peukert_exponent_one_is_ideal;
           Alcotest.test_case "invalid" `Quick test_peukert_invalid ] );
       ( "rakhmatov",
-        [ Alcotest.test_case "exceeds ideal during load" `Quick test_rv_exceeds_ideal_during_load;
+        [ Alcotest.test_case "reference edges" `Quick test_sigma_reference_single_interval;
+          Alcotest.test_case "exceeds ideal during load" `Quick test_rv_exceeds_ideal_during_load;
           Alcotest.test_case "recovers at rest" `Quick test_rv_recovers_at_rest;
           Alcotest.test_case "monotone in time" `Quick test_rv_monotone_in_time_during_load;
           Alcotest.test_case "zero at time zero" `Quick test_rv_zero_at_time_zero;

@@ -583,11 +583,81 @@ let prop_choose_within_window =
         (fun i -> Assignment.column a i >= ws)
         (List.init (Graph.num_tasks g) Fun.id))
 
+(* --- parallel paths vs the sequential reference --- *)
+
+let parallel_pool = Batsched_numeric.Pool.create 4
+
+let same_result name (a : Batsched.Iterate.result) (b : Batsched.Iterate.result) =
+  Alcotest.(check (list int))
+    (name ^ " sequence") a.Batsched.Iterate.schedule.Schedule.sequence
+    b.Batsched.Iterate.schedule.Schedule.sequence;
+  Alcotest.(check (list int))
+    (name ^ " assignment")
+    (Assignment.to_list a.Batsched.Iterate.schedule.Schedule.assignment)
+    (Assignment.to_list b.Batsched.Iterate.schedule.Schedule.assignment);
+  Alcotest.(check bool) (name ^ " sigma bit-identical") true
+    (Float.equal a.Batsched.Iterate.sigma b.Batsched.Iterate.sigma)
+
+let test_parallel_window_evaluate_identical () =
+  List.iter
+    (fun (g, deadline) ->
+      let seq = Priorities.sequence_dec_energy g in
+      let seq_cfg = Batsched.Config.make ~deadline () in
+      let par_cfg = Batsched.Config.make ~pool:parallel_pool ~deadline () in
+      let a = Batsched.Window.evaluate seq_cfg g ~sequence:seq in
+      let b = Batsched.Window.evaluate par_cfg g ~sequence:seq in
+      let summary (w : Batsched.Window.t) =
+        List.map
+          (fun (r : Batsched.Window.window_result) ->
+            (r.window_start, Assignment.to_list r.assignment))
+          w.Batsched.Window.per_window
+      in
+      Alcotest.(check (list (pair int (list int)))) "per-window identical"
+        (summary a) (summary b);
+      Alcotest.(check bool) "best sigma bit-identical" true
+        (Float.equal a.Batsched.Window.best.Batsched.Window.sigma
+           b.Batsched.Window.best.Batsched.Window.sigma))
+    [ (Instances.g3, 230.0); (Instances.g2, 75.0); (Instances.g2, 95.0) ]
+
+let test_parallel_multistart_identical_instances () =
+  (* acceptance gate: on all published instances the pooled multistart
+     must return bit-identical schedules to the sequential path *)
+  List.iter
+    (fun (g, deadline) ->
+      let seq_cfg = Batsched.Config.make ~deadline () in
+      let par_cfg = Batsched.Config.make ~pool:parallel_pool ~deadline () in
+      let run cfg =
+        Batsched.Iterate.run_multistart
+          ~rng:(Batsched_numeric.Rng.create 11) ~starts:6 cfg g
+      in
+      same_result (Graph.label g) (run seq_cfg) (run par_cfg))
+    ((Instances.g3, Instances.g3_deadline)
+     :: List.map (fun d -> (Instances.g2, d)) Instances.g2_deadlines)
+
+let prop_parallel_multistart_matches_sequential =
+  QCheck.Test.make ~count:25
+    ~name:"parallel multistart bit-identical to sequential on random graphs"
+    gen_case (fun (g, deadline) ->
+      let run pool =
+        Batsched.Iterate.run_multistart
+          ~rng:(Batsched_numeric.Rng.create 5) ~starts:4
+          (Batsched.Config.make ~pool ~deadline ())
+          g
+      in
+      let a = run Batsched_numeric.Pool.sequential in
+      let b = run parallel_pool in
+      a.Batsched.Iterate.schedule.Schedule.sequence
+      = b.Batsched.Iterate.schedule.Schedule.sequence
+      && Assignment.equal a.Batsched.Iterate.schedule.Schedule.assignment
+           b.Batsched.Iterate.schedule.Schedule.assignment
+      && Float.equal a.Batsched.Iterate.sigma b.Batsched.Iterate.sigma)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_iterate_always_feasible;
       prop_iterate_min_sigma_monotone;
-      prop_choose_within_window ]
+      prop_choose_within_window;
+      prop_parallel_multistart_matches_sequential ]
 
 let () =
   Alcotest.run "core"
@@ -635,6 +705,11 @@ let () =
         [ Alcotest.test_case "never worse" `Quick test_multistart_never_worse_than_single;
           Alcotest.test_case "one start equals run" `Quick test_multistart_one_start_equals_run;
           Alcotest.test_case "validation" `Quick test_multistart_validation ] );
+      ( "parallel",
+        [ Alcotest.test_case "window evaluate identical" `Quick
+            test_parallel_window_evaluate_identical;
+          Alcotest.test_case "multistart identical on instances" `Quick
+            test_parallel_multistart_identical_instances ] );
       ( "idle",
         [ Alcotest.test_case "peak of constant load" `Quick test_idle_peak_sigma_constant_load;
           Alcotest.test_case "never raises peak" `Quick test_idle_never_raises_peak;

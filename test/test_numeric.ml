@@ -292,6 +292,57 @@ let test_tridiag_validation () =
       ignore (Tridiag.solve ~lower:[||] ~diag:[| 1.0; 1.0 |] ~upper:[| 1.0 |]
                 ~rhs:[| 1.0; 1.0 |]))
 
+(* --- Pool --- *)
+
+let test_pool_sequential_is_map () =
+  let xs = List.init 20 Fun.id in
+  Alcotest.(check (list int)) "inline map"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map_list Pool.sequential (fun x -> x * x) xs)
+
+let test_pool_parallel_preserves_order () =
+  let pool = Pool.create 4 in
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order"
+    (List.map (fun x -> (x * 7) mod 13) xs)
+    (Pool.map_list pool (fun x -> (x * 7) mod 13) xs)
+
+let test_pool_matches_sequential_floats () =
+  let pool = Pool.create 4 in
+  let xs = Array.init 64 (fun i -> float_of_int (i + 1)) in
+  let f x = Series.exp_sum ~beta:0.273 x in
+  Alcotest.(check bool) "bit-identical" true
+    (Pool.map_array pool f xs = Array.map f xs)
+
+let test_pool_empty_and_singleton () =
+  let pool = Pool.create 8 in
+  Alcotest.(check (list int)) "empty" [] (Pool.map_list pool succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map_list pool succ [ 1 ])
+
+let test_pool_nested_runs_sequentially () =
+  let pool = Pool.create 4 in
+  let out =
+    Pool.map_list pool
+      (fun x -> Pool.map_list pool (fun y -> (x * 10) + y) [ 1; 2; 3 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int))) "nested" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] out
+
+let test_pool_exception_first_index () =
+  let pool = Pool.create 4 in
+  Alcotest.check_raises "first failing index wins"
+    (Invalid_argument "boom-3") (fun () ->
+      ignore
+        (Pool.map_list pool
+           (fun x ->
+             if x >= 3 then invalid_arg (Printf.sprintf "boom-%d" x) else x)
+           (List.init 16 Fun.id)))
+
+let test_pool_validation () =
+  Alcotest.check_raises "size" (Invalid_argument "Pool.create: size < 1")
+    (fun () -> ignore (Pool.create 0));
+  Alcotest.(check bool) "recommended positive" true (Pool.recommended () >= 1)
+
 (* --- qcheck properties --- *)
 
 let prop_kahan_matches_naive_small =
@@ -323,12 +374,52 @@ let prop_percentile_monotone =
     (fun xs ->
       Stats.percentile 25.0 xs <= Stats.percentile 75.0 xs +. 1e-9)
 
+let prop_kernel_matches_direct =
+  (* the memoized F(a) - F(b) evaluation against the term-by-term
+     reference, including a = 0 and a = b edges *)
+  QCheck.Test.make ~count:500 ~name:"cached kernel agrees with direct kernel"
+    QCheck.(triple (float_bound_inclusive 50.0) (float_bound_inclusive 50.0)
+              (float_bound_inclusive 2.0))
+    (fun (a, d, beta_off) ->
+      let a = Float.abs a and d = Float.abs d in
+      let beta = 0.05 +. Float.abs beta_off in
+      let cached = Series.kernel ~beta a (a +. d) in
+      let direct = Series.kernel_direct ~beta a (a +. d) in
+      Float.abs (cached -. direct) <= 1e-9)
+
+let prop_kernel_zero_a_matches_direct =
+  QCheck.Test.make ~count:200 ~name:"cached kernel a = 0 edge"
+    QCheck.(float_bound_inclusive 100.0)
+    (fun b ->
+      let b = Float.abs b in
+      Float.abs (Series.kernel ~beta:0.273 0.0 b
+                 -. Series.kernel_direct ~beta:0.273 0.0 b)
+      <= 1e-9)
+
+let prop_exp_sum_cached_bit_identical =
+  QCheck.Test.make ~count:200 ~name:"cached exp_sum is bit-identical"
+    QCheck.(float_bound_inclusive 100.0)
+    (fun t ->
+      let t = Float.abs t in
+      Series.exp_sum_cached ~beta:0.273 t = Series.exp_sum ~beta:0.273 t)
+
+let prop_pool_map_matches_sequential =
+  QCheck.Test.make ~count:50 ~name:"pool map is order-preserving"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (size, xs) ->
+      Pool.map_list (Pool.create size) (fun x -> x * 3) xs
+      = List.map (fun x -> x * 3) xs)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_kahan_matches_naive_small;
       prop_kernel_nonnegative;
       prop_interp_within_hull;
-      prop_percentile_monotone ]
+      prop_percentile_monotone;
+      prop_kernel_matches_direct;
+      prop_kernel_zero_a_matches_direct;
+      prop_exp_sum_cached_bit_identical;
+      prop_pool_map_matches_sequential ]
 
 let () =
   Alcotest.run "numeric"
@@ -386,6 +477,14 @@ let () =
           Alcotest.test_case "ceil and floor" `Quick test_ticks_ceil_floor;
           Alcotest.test_case "sub truncates" `Quick test_ticks_sub_truncates;
           Alcotest.test_case "negative" `Quick test_ticks_negative ] );
+      ( "pool",
+        [ Alcotest.test_case "sequential is map" `Quick test_pool_sequential_is_map;
+          Alcotest.test_case "parallel preserves order" `Quick test_pool_parallel_preserves_order;
+          Alcotest.test_case "bit-identical floats" `Quick test_pool_matches_sequential_floats;
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
+          Alcotest.test_case "nested runs sequentially" `Quick test_pool_nested_runs_sequentially;
+          Alcotest.test_case "exception order" `Quick test_pool_exception_first_index;
+          Alcotest.test_case "validation" `Quick test_pool_validation ] );
       ( "tridiag",
         [ Alcotest.test_case "identity" `Quick test_tridiag_identity;
           Alcotest.test_case "known system" `Quick test_tridiag_known_system;
