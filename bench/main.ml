@@ -23,6 +23,11 @@
 open Bechamel
 open Toolkit
 
+(* Observability: --stats prints a counter/timing report, --trace FILE
+   dumps a Chrome trace.  Reproduction and smoke scenarios run under a
+   span each, so the trace shows where a full bench run spends time. *)
+let obs = ref Batsched_obs.Sink.noop
+
 (* --- half 1: reproductions --- *)
 
 let run_reproductions names =
@@ -34,7 +39,8 @@ let run_reproductions names =
   in
   List.iter
     (fun (e : Batsched_experiments.Registry.experiment) ->
-      Printf.printf "=== %s: %s ===\n%s\n%!" e.name e.title (e.run ()))
+      let out = Batsched_obs.Sink.with_span !obs e.name e.run in
+      Printf.printf "=== %s: %s ===\n%s\n%!" e.name e.title out)
     selected
 
 (* --- half 2: timing scenarios ---
@@ -222,8 +228,24 @@ let scenarios = scenario_kernels @ scenario_artifacts @ scenario_scaling
 let run_smoke () =
   List.iter
     (fun (name, fn) ->
-      fn ();
+      Batsched_obs.Sink.with_span !obs name fn;
       Printf.printf "smoke %-40s ok\n%!" name)
+    scenarios
+
+(* --- work profile: counters from one instrumented run per scenario ---
+
+   Wall time alone cannot tell an algorithmic regression from machine
+   noise; the counter snapshot records how much work each scenario did
+   (sigma evaluations, cache hit rates, pool fan-out).  Counts are
+   deterministic for a fixed scenario, so BENCH_*.json diffs cleanly
+   across PRs. *)
+
+let work_profile () =
+  List.map
+    (fun (name, fn) ->
+      Batsched_numeric.Probe.reset ();
+      fn ();
+      (name, Batsched_numeric.Probe.totals ()))
     scenarios
 
 (* --- bechamel estimation --- *)
@@ -285,7 +307,39 @@ let json_escape s =
 let json_float x =
   if Float.is_finite x then Printf.sprintf "%.1f" x else "null"
 
-let write_json path rows =
+(* Counters for a row: bechamel prefixes scenario names with the group
+   ("batsched/..."), the work profile keys on the raw scenario name. *)
+let counters_for profile name =
+  let strip s =
+    match String.index_opt s '/' with
+    | Some i when List.mem_assoc s profile = false ->
+        String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> s
+  in
+  List.assoc_opt (strip name) profile
+
+let json_counters (c : Batsched_numeric.Probe.t) =
+  let fields =
+    List.map
+      (fun (name, get) -> Printf.sprintf "\"%s\": %d" name (get c))
+      Batsched_numeric.Probe.fields
+  in
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then "null"
+    else Printf.sprintf "%.4f" (float_of_int hits /. float_of_int total)
+  in
+  let derived =
+    [ Printf.sprintf "\"fmemo_hit_rate\": %s"
+        (rate c.Batsched_numeric.Probe.fmemo_hits
+           c.Batsched_numeric.Probe.fmemo_misses);
+      Printf.sprintf "\"contrib_hit_rate\": %s"
+        (rate c.Batsched_numeric.Probe.contrib_hits
+           c.Batsched_numeric.Probe.contrib_misses) ]
+  in
+  "{" ^ String.concat ", " (fields @ derived) ^ "}"
+
+let write_json path rows profile =
   let oc =
     try open_out path
     with Sys_error msg ->
@@ -295,29 +349,48 @@ let write_json path rows =
   output_string oc "{\n  \"rows\": [\n";
   List.iteri
     (fun i (name, estimate, r2) ->
+      let counters =
+        match counters_for profile name with
+        | Some c -> Printf.sprintf ", \"counters\": %s" (json_counters c)
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s%s}%s\n"
         (json_escape name) (json_float estimate)
         (if Float.is_finite r2 then Printf.sprintf "%.4f" r2 else "null")
+        counters
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %d rows to %s\n%!" (List.length rows) path
 
+(* --flag VALUE extraction; order-insensitive, leaves the rest alone *)
+let extract_opt flag args =
+  let rec go acc = function
+    | [ f ] when f = flag ->
+        Printf.eprintf "bench: %s requires an output path\n%!" flag;
+        exit 2
+    | f :: value :: rest when f = flag -> (Some value, List.rev_append acc rest)
+    | x :: rest -> go (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] args
+
+let extract_flag flag args =
+  let rec go acc = function
+    | f :: rest when f = flag -> (true, List.rev_append acc rest)
+    | x :: rest -> go (x :: acc) rest
+    | [] -> (false, List.rev acc)
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let json_out, args =
-    let rec extract acc = function
-      | [ "--json" ] ->
-          prerr_endline "bench: --json requires an output path";
-          exit 2
-      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-      | x :: rest -> extract (x :: acc) rest
-      | [] -> (None, List.rev acc)
-    in
-    extract [] args
-  in
+  let json_out, args = extract_opt "--json" args in
+  let trace_out, args = extract_opt "--trace" args in
+  let stats, args = extract_flag "--stats" args in
+  if stats || trace_out <> None then obs := Batsched_obs.Sink.create ();
   (* fail on an unwritable --json target now, not after minutes of timing *)
   (match json_out with
   | Some path -> (
@@ -326,17 +399,35 @@ let () =
         Printf.eprintf "bench: cannot write %s (%s)\n%!" path msg;
         exit 2)
   | None -> ());
-  let finish rows =
-    match json_out with
-    | Some path -> write_json path rows
-    | None -> ()
+  let rows =
+    match args with
+    | [] ->
+        run_reproductions [];
+        print_newline ();
+        Some (run_timing ())
+    | [ "--smoke" ] ->
+        run_smoke ();
+        None
+    | [ "tables" ] ->
+        run_reproductions [];
+        None
+    | [ "timing" ] -> Some (run_timing ())
+    | names ->
+        run_reproductions names;
+        None
   in
-  match args with
-  | [] ->
-      run_reproductions [];
-      print_newline ();
-      finish (run_timing ())
-  | [ "--smoke" ] -> run_smoke ()
-  | [ "tables" ] -> run_reproductions []
-  | [ "timing" ] -> finish (run_timing ())
-  | names -> run_reproductions names
+  (* report/trace before the work profile: work_profile resets counters *)
+  if stats then begin
+    print_newline ();
+    print_string (Batsched_obs.Report.to_string !obs)
+  end;
+  (match trace_out with
+  | Some out ->
+      Batsched_obs.Trace.write !obs out;
+      Printf.printf
+        "wrote trace to %s (load it in chrome://tracing or ui.perfetto.dev)\n%!"
+        out
+  | None -> ());
+  match (json_out, rows) with
+  | Some path, Some rows -> write_json path rows (work_profile ())
+  | _ -> ()

@@ -1,7 +1,8 @@
 (* basched: battery-aware scheduling of a task-graph file.
 
    Usage: basched FILE --deadline D [--algo iterative|dp-energy|chowdhury|
-          annealing|random] [--beta B] [--seed N] [--trace] [--dot OUT] *)
+          annealing|random] [--beta B] [--seed N] [--iterations]
+          [--stats] [--trace OUT.json] [--dot OUT] *)
 
 open Cmdliner
 open Batsched_taskgraph
@@ -48,14 +49,15 @@ let load_graph path =
     (doc.Tgff.graph, doc.Tgff.deadline)
   else (Textio.of_string text, None)
 
-let setup_logs verbose =
-  if verbose then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.Src.set_level Batsched.Iterate.log_src (Some Logs.Debug)
-  end
-
-let run_file path deadline algo beta seed trace chart polish verbose dot_out =
-  setup_logs verbose;
+let run_file path deadline algo beta seed iterations chart polish verbose
+    stats trace_out dot_out =
+  if verbose then Batsched_obs.Log.set_level Batsched_obs.Log.Debug;
+  (* Work counters are always on; an active sink additionally records
+     phase span timers for --stats and --trace. *)
+  let obs =
+    if stats || trace_out <> None then Batsched_obs.Sink.create ()
+    else Batsched_obs.Sink.noop
+  in
   match
     (try Ok (load_graph path) with
     | Textio.Parse_error { line; message }
@@ -90,13 +92,13 @@ let run_file path deadline algo beta seed trace chart polish verbose dot_out =
       try
         (match algo with
         | "iterative" | "iterative-ms" ->
-            let cfg = Batsched.Config.make ~model ~deadline () in
+            let cfg = Batsched.Config.make ~model ~obs ~deadline () in
             let result =
               if algo = "iterative-ms" then
                 Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g
               else Batsched.Iterate.run cfg g
             in
-            if trace then trace_iterations g result;
+            if iterations then trace_iterations g result;
             let result =
               if polish then Batsched.Polish.polish cfg g result else result
             in
@@ -112,6 +114,18 @@ let run_file path deadline algo beta seed trace chart polish verbose dot_out =
         | "annealing" -> report ~chart g (Annealing.run ~rng ~model g ~deadline)
         | "random" -> report ~chart g (Random_search.run ~rng ~model g ~deadline)
         | a -> failwith ("unknown algorithm: " ^ a));
+        if stats then begin
+          print_newline ();
+          print_string (Batsched_obs.Report.to_string obs)
+        end;
+        (match trace_out with
+        | Some out ->
+            Batsched_obs.Trace.write obs out;
+            Printf.printf
+              "wrote trace to %s (load it in chrome://tracing or \
+               ui.perfetto.dev)\n"
+              out
+        | None -> ());
         Ok ()
       with
       | Batsched.Config.Deadline_unmeetable | Dp_energy.Infeasible
@@ -145,8 +159,20 @@ let beta_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let iterations_arg =
+  Arg.(value & flag
+       & info [ "iterations" ] ~doc:"Print per-iteration details.")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print a work-counter table and per-phase timing report.")
+
 let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print per-iteration details.")
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file of the run \
+                 (chrome://tracing / Perfetto).")
 
 let chart_arg =
   Arg.(value & flag
@@ -169,15 +195,18 @@ let cmd =
   let doc = "battery-aware task sequencing and design-point assignment" in
   let term =
     Term.(
-      const (fun file deadline algo beta seed trace chart polish verbose dot ->
+      const
+        (fun file deadline algo beta seed iterations chart polish verbose
+             stats trace dot ->
           match
-            run_file file deadline algo beta seed trace chart polish verbose
-              dot
+            run_file file deadline algo beta seed iterations chart polish
+              verbose stats trace dot
           with
           | Ok () -> `Ok ()
           | Error msg -> `Error (false, msg))
-      $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg $ trace_arg
-      $ chart_arg $ polish_arg $ verbose_arg $ dot_arg)
+      $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg
+      $ iterations_arg $ chart_arg $ polish_arg $ verbose_arg $ stats_arg
+      $ trace_arg $ dot_arg)
   in
   Cmd.v (Cmd.info "basched" ~doc) (Term.ret term)
 

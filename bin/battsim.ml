@@ -8,6 +8,41 @@
 open Cmdliner
 open Batsched_battery
 
+(* Shared observability flags: every subcommand accepts --stats and
+   --trace FILE.  The whole command body runs under one span named
+   after the subcommand, so the trace is non-trivial even though the
+   battery layer itself only bumps counters. *)
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print a work-counter table and timing report.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file of the run \
+                 (chrome://tracing / Perfetto).")
+
+let with_obs ~label stats trace_out f =
+  let obs =
+    if stats || trace_out <> None then Batsched_obs.Sink.create ()
+    else Batsched_obs.Sink.noop
+  in
+  let result = Batsched_obs.Sink.with_span obs label f in
+  (match result with
+  | `Ok () ->
+      if stats then begin
+        print_newline ();
+        print_string (Batsched_obs.Report.to_string obs)
+      end;
+      (match trace_out with
+      | Some out ->
+          Batsched_obs.Trace.write obs out;
+          Printf.printf "wrote trace to %s\n" out
+      | None -> ())
+  | _ -> ());
+  result
+
 let model_of name beta =
   match name with
   | "rakhmatov" -> Ok (Rakhmatov.model ~beta ())
@@ -36,7 +71,8 @@ let model_arg =
            ~doc:"rakhmatov, kibam, peukert, pde or ideal.")
 
 (* lifetime *)
-let lifetime current alpha beta model_name =
+let lifetime current alpha beta model_name stats trace_out =
+  with_obs ~label:"lifetime" stats trace_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -57,7 +93,10 @@ let current_arg =
 
 let lifetime_cmd =
   Cmd.v (Cmd.info "lifetime" ~doc:"lifetime under a constant load")
-    Term.(ret (const lifetime $ current_arg $ alpha_arg $ beta_arg $ model_arg))
+    Term.(
+      ret
+        (const lifetime $ current_arg $ alpha_arg $ beta_arg $ model_arg
+         $ stats_arg $ trace_out_arg))
 
 (* sigma *)
 let parse_load s =
@@ -67,7 +106,8 @@ let parse_load s =
       with Failure _ -> Error ("bad load: " ^ s))
   | _ -> Error ("bad load (want I:D): " ^ s)
 
-let sigma loads beta idle model_name =
+let sigma loads beta idle model_name stats trace_out =
+  with_obs ~label:"sigma" stats trace_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model -> (
@@ -109,10 +149,14 @@ let idle_arg =
 
 let sigma_cmd =
   Cmd.v (Cmd.info "sigma" ~doc:"apparent charge lost by a load profile")
-    Term.(ret (const sigma $ loads_arg $ beta_arg $ idle_arg $ model_arg))
+    Term.(
+      ret
+        (const sigma $ loads_arg $ beta_arg $ idle_arg $ model_arg
+         $ stats_arg $ trace_out_arg))
 
 (* curve *)
-let curve current beta points model_name =
+let curve current beta points model_name stats trace_out =
+  with_obs ~label:"curve" stats trace_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -135,10 +179,14 @@ let points_arg =
 
 let curve_cmd =
   Cmd.v (Cmd.info "curve" ~doc:"tabulate sigma(T) up to exhaustion")
-    Term.(ret (const curve $ current_arg $ beta_arg $ points_arg $ model_arg))
+    Term.(
+      ret
+        (const curve $ current_arg $ beta_arg $ points_arg $ model_arg
+         $ stats_arg $ trace_out_arg))
 
 (* cycles: periodic-mission endurance *)
-let cycles current burst period alpha beta model_name =
+let cycles current burst period alpha beta model_name stats trace_out =
+  with_obs ~label:"cycles" stats trace_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -173,7 +221,7 @@ let cycles_cmd =
     Term.(
       ret
         (const cycles $ current_arg $ burst_arg $ period_arg $ alpha_arg
-         $ beta_arg $ model_arg))
+         $ beta_arg $ model_arg $ stats_arg $ trace_out_arg))
 
 let main =
   Cmd.group

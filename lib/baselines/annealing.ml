@@ -88,6 +88,7 @@ let run ?(params = default_params) ~rng ~model g ~deadline =
       let cur_energy = ref (let e, _, _, _ = energy_of ~model g ~deadline !st in e) in
       let best = ref sol in
       let temperature = ref params.initial_temperature in
+      let probe = Probe.local () in
       while !temperature > params.temperature_floor do
         for _ = 1 to params.steps_per_temperature do
           let cand = neighbour ~rng g !st in
@@ -97,11 +98,14 @@ let run ?(params = default_params) ~rng ~model g ~deadline =
             || Rng.float rng 1.0 < exp ((!cur_energy -. e) /. !temperature)
           in
           if accept then begin
+            probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1;
             st := cand;
             cur_energy := e;
             if feasible && sigma < !best.Solution.sigma then
               best := Solution.of_schedule ~model g sched
           end
+          else
+            probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1
         done;
         temperature := !temperature *. params.cooling
       done;

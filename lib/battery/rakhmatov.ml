@@ -35,9 +35,13 @@ let contribution_cache :
 let contribution ~terms ~beta ~start ~duration ~current ~at =
   let tbl = Domain.DLS.get contribution_cache in
   let key = (beta, terms, start, duration, current, at) in
+  let probe = Probe.local () in
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      probe.Probe.contrib_hits <- probe.Probe.contrib_hits + 1;
+      v
   | None ->
+      probe.Probe.contrib_misses <- probe.Probe.contrib_misses + 1;
       let a = Float.max 0.0 (at -. start -. duration) in
       let b = at -. start in
       let v = current *. (duration +. Series.kernel ~terms ~beta a b) in
@@ -47,6 +51,8 @@ let contribution ~terms ~beta ~start ~duration ~current ~at =
 
 let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
   if at < 0.0 then invalid_arg "Rakhmatov.sigma: negative time";
+  let probe = Probe.local () in
+  probe.Probe.sigma_evals <- probe.Probe.sigma_evals + 1;
   Kahan.sum
     (Profile.fold_until p ~at ~init:Kahan.zero
        ~f:(fun acc ~start ~duration ~current ->

@@ -114,6 +114,7 @@ let calculate_dpf_ctx ctx ~tagged_pos =
   let d = ctx.deadline in
   let cols = ctx.scratch_cols in
   let fixed_e = ctx.fixed_e in
+  let probe = Probe.local () in
   Array.fill fixed_e 0 ctx.n true;
   for pos = 0 to tagged_pos - 1 do
     fixed_e.(ctx.seq.(pos)) <- false
@@ -155,6 +156,7 @@ let calculate_dpf_ctx ctx ~tagged_pos =
       match candidate () with
       | None -> finish true
       | Some q ->
+          probe.Probe.dpf_steps <- probe.Probe.dpf_steps + 1;
           let col = cols.(q) in
           let col' = col - 1 in
           te := !te -. ctx.dur.(q).(col) +. ctx.dur.(q).(col');
@@ -192,6 +194,9 @@ let choose_design_points (cfg : Config.t) g ~sequence ~window_start =
     invalid_arg "Choose.choose_design_points: window out of range";
   if not (Analysis.is_topological g sequence) then
     invalid_arg "Choose.choose_design_points: invalid sequence";
+  Batsched_obs.Sink.with_span cfg.Config.obs "choose" @@ fun () ->
+  let probe = Probe.local () in
+  probe.Probe.choose_calls <- probe.Probe.choose_calls + 1;
   let seq = Array.of_list sequence in
   let ctx = make_ctx cfg g ~seq ~window_start in
   let n = ctx.n in

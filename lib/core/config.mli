@@ -35,14 +35,22 @@ type t = {
           (default {!Batsched_numeric.Pool.sequential} = fully
           sequential).  Results are bit-identical at any pool size;
           see [Pool]'s determinism guarantees. *)
+  obs : Batsched_obs.Sink.t;
+      (** observability sink for phase span timers (default
+          {!Batsched_obs.Sink.noop} = timers disabled at the cost of
+          one branch per phase).  Instrumentation never feeds back
+          into the search: schedules and sigma are bit-identical with
+          any sink.  Work counters ({!Batsched_numeric.Probe}) are
+          always on and independent of this field. *)
 }
 
 val make :
   ?model:Model.t -> ?weights:term_weights -> ?max_iterations:int ->
   ?full_window_only:bool -> ?pool:Batsched_numeric.Pool.t ->
+  ?obs:Batsched_obs.Sink.t ->
   deadline:float -> unit -> t
 (** [make ~deadline ()] with defaults: Rakhmatov–Vrudhula model with the
     paper's beta, {!paper_weights}, [max_iterations = 100], the full
-    window sweep, a sequential pool.
+    window sweep, a sequential pool, the no-op sink.
     @raise Invalid_argument on non-positive deadline or
     [max_iterations < 1]. *)

@@ -1,8 +1,6 @@
 open Batsched_sched
-
-let log_src = Logs.Src.create "batsched" ~doc:"battery-aware scheduler"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
+module Log = Batsched_obs.Log
+module Sink = Batsched_obs.Sink
 
 type iteration = {
   index : int;
@@ -38,7 +36,13 @@ let improve incumbent candidate =
    is why Table 3's "Min sigma" column is monotone and the final
    iteration repeats the previous value. *)
 let run_from ~on_iteration ~initial (cfg : Config.t) g =
-  let rec loop ~index ~sequence ~incumbent ~prev_cost acc =
+  (* One "iteration" span per loop pass; the tail call happens outside
+     the span so successive iterations are siblings on the trace track,
+     not a nest. *)
+  let iteration_body ~index ~sequence ~incumbent =
+    let probe = Batsched_numeric.Probe.local () in
+    probe.Batsched_numeric.Probe.iterations <-
+      probe.Batsched_numeric.Probe.iterations + 1;
     let windows = Window.evaluate cfg g ~sequence in
     let best_w = windows.Window.best in
     let incumbent =
@@ -68,15 +72,23 @@ let run_from ~on_iteration ~initial (cfg : Config.t) g =
         weighted_sigma;
         min_sigma = incumbent.inc_sigma }
     in
-    Log.debug (fun m ->
-        m "iteration %d: window best %.1f, weighted %.1f, incumbent %.1f"
+    Log.debug (fun () ->
+        Printf.sprintf
+          "iteration %d: window best %.1f, weighted %.1f, incumbent %.1f"
           index best_w.Window.sigma weighted_sigma incumbent.inc_sigma);
     on_iteration it;
+    (it, incumbent)
+  in
+  let rec loop ~index ~sequence ~incumbent ~prev_cost acc =
+    let it, incumbent =
+      Sink.with_span cfg.Config.obs "iteration" (fun () ->
+          iteration_body ~index ~sequence ~incumbent)
+    in
     let acc = it :: acc in
     if incumbent.inc_sigma >= prev_cost || index >= cfg.Config.max_iterations
     then (List.rev acc, incumbent)
     else
-      loop ~index:(index + 1) ~sequence:weighted_sequence ~incumbent
+      loop ~index:(index + 1) ~sequence:it.weighted_sequence ~incumbent
         ~prev_cost:incumbent.inc_sigma acc
   in
   let start =
@@ -143,7 +155,9 @@ let run_multistart ?(on_iteration = fun _ -> ()) ~rng ~starts (cfg : Config.t)
   in
   let runs =
     Batsched_numeric.Pool.map_list cfg.Config.pool
-      (fun initial -> run_from ~on_iteration ~initial cfg g)
+      (fun initial ->
+        Sink.with_span cfg.Config.obs "start" (fun () ->
+            run_from ~on_iteration ~initial cfg g))
       seeds
   in
   match runs with

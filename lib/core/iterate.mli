@@ -34,8 +34,10 @@ val run : ?on_iteration:(iteration -> unit) -> Config.t -> Graph.t -> result
     claim that a valid, deadline-meeting schedule exists at every
     iteration boundary (pair it with {!schedule_of_iteration}); an
     embedded caller can stop consuming whenever its budget runs out.
-    Progress is also logged on the ["batsched"] {!Logs} source at debug
-    level.
+    Progress is also logged through {!Batsched_obs.Log} at debug level
+    (quiet unless the embedder raises the level), each iteration is
+    wrapped in an ["iteration"] span on [cfg.obs], and per-iteration
+    work lands in the {!Batsched_numeric.Probe} counters.
     @raise Config.Deadline_unmeetable if the deadline cannot be met at
     all. *)
 
@@ -58,9 +60,6 @@ val run_multistart :
     concurrently) and must be thread-safe.
     @raise Invalid_argument if [starts < 1].
     @raise Config.Deadline_unmeetable as {!run}. *)
-
-val log_src : Logs.src
-(** The library's log source, named ["batsched"]. *)
 
 val schedule_of_iteration : Graph.t -> iteration -> Schedule.t
 (** The better of (L, S) and (Ltemp, S) for one iteration — the paper's

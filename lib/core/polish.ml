@@ -17,6 +17,7 @@ let cost (cfg : Config.t) g sched =
 
 let two_swap ?(max_rounds = 10) (cfg : Config.t) g sched =
   if max_rounds < 1 then invalid_arg "Polish.two_swap: max_rounds < 1";
+  Batsched_obs.Sink.with_span cfg.Config.obs "polish" @@ fun () ->
   let n = Graph.num_tasks g in
   let best = ref sched in
   let best_cost = ref (cost cfg g sched) in

@@ -34,12 +34,18 @@ let evaluate (cfg : Config.t) g ~sequence =
     else initial_window_start cfg g
   in
   let run ws =
-    let assignment = Choose.choose_design_points cfg g ~sequence ~window_start:ws in
-    let sched = Schedule.make g ~sequence ~assignment in
-    { window_start = ws;
-      assignment;
-      sigma = Schedule.battery_cost ~model:cfg.Config.model g sched;
-      finish = Schedule.finish_time g sched }
+    Batsched_obs.Sink.with_span cfg.Config.obs "window" (fun () ->
+        let probe = Batsched_numeric.Probe.local () in
+        probe.Batsched_numeric.Probe.window_evals <-
+          probe.Batsched_numeric.Probe.window_evals + 1;
+        let assignment =
+          Choose.choose_design_points cfg g ~sequence ~window_start:ws
+        in
+        let sched = Schedule.make g ~sequence ~assignment in
+        { window_start = ws;
+          assignment;
+          sigma = Schedule.battery_cost ~model:cfg.Config.model g sched;
+          finish = Schedule.finish_time g sched })
   in
   (* Fan the independent window evaluations out over the config's
      domain pool; [Pool.map_list] keeps results in the sequential

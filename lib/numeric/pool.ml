@@ -17,22 +17,47 @@ let size t = t.requested
    machine (and so the worker-count arithmetic stays deterministic). *)
 let inside_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Observability hooks, run inside each worker domain around its slice
+   of a parallel region.  [Batsched_obs.Sink] installs hooks that tag
+   the worker's trace track and flush its span buffer before the domain
+   dies; the default hooks do nothing. *)
+let worker_start : (int -> unit) ref = ref (fun _ -> ())
+
+let worker_finish : (int -> unit) ref = ref (fun _ -> ())
+
+let set_worker_hooks ~on_start ~on_finish =
+  worker_start := on_start;
+  worker_finish := on_finish
+
 let map_array pool f xs =
   let n = Array.length xs in
   let workers = Stdlib.min pool.requested n in
+  let probe = Probe.local () in
+  probe.Probe.pool_tasks <- probe.Probe.pool_tasks + n;
   if workers <= 1 || Domain.DLS.get inside_region then Array.map f xs
   else begin
+    probe.Probe.pool_regions <- probe.Probe.pool_regions + 1;
     let results = Array.make n None in
     (* Strided slices: worker [w] computes indices w, w+workers, ...
        Window sweeps and multistart seeds have index-correlated cost,
        so striding balances better than contiguous chunks. *)
     let slice w () =
       Domain.DLS.set inside_region true;
-      let i = ref w in
-      while !i < n do
-        results.(!i) <- Some (try Ok (f xs.(!i)) with e -> Error e);
-        i := !i + workers
-      done
+      !worker_start w;
+      Fun.protect
+        ~finally:(fun () ->
+          (* Workers other than 0 are about to die with their
+             domain-local state; bank their counters and let the
+             observability layer collect their spans.  Integer merges
+             commute, so the totals are join-order-independent. *)
+          Probe.drain_local ();
+          !worker_finish w)
+        (fun () ->
+          let i = ref w in
+          while !i < n do
+            results.(!i) <- Some (try Ok (f xs.(!i)) with e -> Error e);
+            i := !i + workers
+          done)
     in
     let spawned =
       List.init (workers - 1) (fun k -> Domain.spawn (slice (k + 1)))

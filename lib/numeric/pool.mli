@@ -47,4 +47,22 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     index-correlated costs. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
-(** As {!map_array}, on lists. *)
+(** As {!map_array}, on lists.  (Empty and singleton lists short-cut
+    without entering {!map_array}.) *)
+
+(** {2 Observability}
+
+    [map_array] counts every mapped item into {!Probe.pool_tasks} and
+    every region that actually fans out into {!Probe.pool_regions}, and
+    each worker domain {!Probe.drain_local}s its counters before it
+    exits, so per-domain work counts survive the join. *)
+
+val set_worker_hooks :
+  on_start:(int -> unit) -> on_finish:(int -> unit) -> unit
+(** Install hooks run {e inside} each worker domain around its slice of
+    a parallel region: [on_start w] before the first item, [on_finish w]
+    after the last (also on exception), where [w] is the worker index
+    ([0] = the calling domain).  One global hook pair; installing
+    replaces the previous one.  Used by [Batsched_obs.Sink] to tag
+    trace tracks and flush span buffers — library users normally never
+    call this. *)

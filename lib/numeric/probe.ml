@@ -1,0 +1,110 @@
+type t = {
+  mutable sigma_evals : int;
+  mutable fmemo_hits : int;
+  mutable fmemo_misses : int;
+  mutable contrib_hits : int;
+  mutable contrib_misses : int;
+  mutable dpf_steps : int;
+  mutable window_evals : int;
+  mutable choose_calls : int;
+  mutable iterations : int;
+  mutable anneal_accepted : int;
+  mutable anneal_rejected : int;
+  mutable pool_regions : int;
+  mutable pool_tasks : int;
+}
+
+let zero () =
+  { sigma_evals = 0;
+    fmemo_hits = 0;
+    fmemo_misses = 0;
+    contrib_hits = 0;
+    contrib_misses = 0;
+    dpf_steps = 0;
+    window_evals = 0;
+    choose_calls = 0;
+    iterations = 0;
+    anneal_accepted = 0;
+    anneal_rejected = 0;
+    pool_regions = 0;
+    pool_tasks = 0 }
+
+let add ~into c =
+  into.sigma_evals <- into.sigma_evals + c.sigma_evals;
+  into.fmemo_hits <- into.fmemo_hits + c.fmemo_hits;
+  into.fmemo_misses <- into.fmemo_misses + c.fmemo_misses;
+  into.contrib_hits <- into.contrib_hits + c.contrib_hits;
+  into.contrib_misses <- into.contrib_misses + c.contrib_misses;
+  into.dpf_steps <- into.dpf_steps + c.dpf_steps;
+  into.window_evals <- into.window_evals + c.window_evals;
+  into.choose_calls <- into.choose_calls + c.choose_calls;
+  into.iterations <- into.iterations + c.iterations;
+  into.anneal_accepted <- into.anneal_accepted + c.anneal_accepted;
+  into.anneal_rejected <- into.anneal_rejected + c.anneal_rejected;
+  into.pool_regions <- into.pool_regions + c.pool_regions;
+  into.pool_tasks <- into.pool_tasks + c.pool_tasks
+
+let clear c =
+  c.sigma_evals <- 0;
+  c.fmemo_hits <- 0;
+  c.fmemo_misses <- 0;
+  c.contrib_hits <- 0;
+  c.contrib_misses <- 0;
+  c.dpf_steps <- 0;
+  c.window_evals <- 0;
+  c.choose_calls <- 0;
+  c.iterations <- 0;
+  c.anneal_accepted <- 0;
+  c.anneal_rejected <- 0;
+  c.pool_regions <- 0;
+  c.pool_tasks <- 0
+
+let fields =
+  [ ("sigma_evals", fun c -> c.sigma_evals);
+    ("fmemo_hits", fun c -> c.fmemo_hits);
+    ("fmemo_misses", fun c -> c.fmemo_misses);
+    ("contrib_hits", fun c -> c.contrib_hits);
+    ("contrib_misses", fun c -> c.contrib_misses);
+    ("dpf_steps", fun c -> c.dpf_steps);
+    ("window_evals", fun c -> c.window_evals);
+    ("choose_calls", fun c -> c.choose_calls);
+    ("iterations", fun c -> c.iterations);
+    ("anneal_accepted", fun c -> c.anneal_accepted);
+    ("anneal_rejected", fun c -> c.anneal_rejected);
+    ("pool_regions", fun c -> c.pool_regions);
+    ("pool_tasks", fun c -> c.pool_tasks) ]
+
+(* Per-domain accumulator.  Bumps are plain mutable-field increments on
+   the calling domain's record: no locks, no atomics, nothing shared on
+   the hot path. *)
+let local_key : t Domain.DLS.key = Domain.DLS.new_key zero
+
+let local () = Domain.DLS.get local_key
+
+(* Counts drained from finished domains.  Integer addition commutes, so
+   the merged totals are independent of worker scheduling and join
+   order — deterministic for a fixed configuration. *)
+let drained_mutex = Mutex.create ()
+
+let drained = zero ()
+
+let drain_local () =
+  let c = local () in
+  Mutex.lock drained_mutex;
+  add ~into:drained c;
+  Mutex.unlock drained_mutex;
+  clear c
+
+let totals () =
+  let out = zero () in
+  Mutex.lock drained_mutex;
+  add ~into:out drained;
+  Mutex.unlock drained_mutex;
+  add ~into:out (local ());
+  out
+
+let reset () =
+  Mutex.lock drained_mutex;
+  clear drained;
+  Mutex.unlock drained_mutex;
+  clear (local ())

@@ -1,0 +1,68 @@
+(** Work counters for the hot paths, kept in per-domain accumulators.
+
+    Counting is {e always on}: every bump is a plain mutable-field
+    increment on the calling domain's private record, which costs a
+    {!Domain.DLS} read and an integer store — noise next to the
+    hashtable probe or float kernel it sits beside.  Nothing is shared
+    between domains while work is running.
+
+    {2 Merging and determinism}
+
+    Worker domains are short-lived ({!Pool} spawns them per region), so
+    each worker {!drain_local}s its record into a global accumulator
+    just before it exits.  Integer addition commutes: the merged totals
+    are independent of worker scheduling and join order.  The pure work
+    counters ([sigma_evals], [dpf_steps], [window_evals], ...) and the
+    top-level contribution {e lookup} count (hits + misses) are
+    invariant across pool sizes; the hit/miss splits vary with cache
+    warmth and worker placement because the memo tables are per-domain,
+    and the F-memo counts vary entirely (the Series kernel only runs on
+    a contribution-cache miss).
+
+    Counters are process-global, not per-run: call {!reset} before a
+    run you want to attribute counts to.  [Batsched_obs.Report] renders
+    them; the bench harness snapshots them into its [--json] rows. *)
+
+type t = {
+  mutable sigma_evals : int;      (** RV sigma evaluations *)
+  mutable fmemo_hits : int;       (** Series F-memo table hits *)
+  mutable fmemo_misses : int;     (** Series F-memo table misses *)
+  mutable contrib_hits : int;     (** per-interval contribution cache hits *)
+  mutable contrib_misses : int;   (** per-interval contribution cache misses *)
+  mutable dpf_steps : int;        (** CalculateDPF upgrade-loop steps *)
+  mutable window_evals : int;     (** windows evaluated (choose + cost) *)
+  mutable choose_calls : int;     (** [Choose.choose_design_points] calls *)
+  mutable iterations : int;       (** outer iterations of the main loop *)
+  mutable anneal_accepted : int;  (** annealing moves accepted *)
+  mutable anneal_rejected : int;  (** annealing moves rejected *)
+  mutable pool_regions : int;     (** parallel regions actually fanned out *)
+  mutable pool_tasks : int;       (** items mapped through [Pool.map_array] *)
+}
+
+val local : unit -> t
+(** The calling domain's accumulator.  Bump its fields directly. *)
+
+val zero : unit -> t
+(** A fresh all-zero record. *)
+
+val add : into:t -> t -> unit
+(** [add ~into c] adds every field of [c] into [into]. *)
+
+val clear : t -> unit
+(** Zero every field in place. *)
+
+val drain_local : unit -> unit
+(** Merge the calling domain's accumulator into the global totals and
+    zero it.  Called by [Pool] workers before they exit; harmless to
+    call at any other time. *)
+
+val totals : unit -> t
+(** Global totals: everything drained so far plus the calling domain's
+    live accumulator (which is left untouched). *)
+
+val reset : unit -> unit
+(** Zero the drained totals and the calling domain's accumulator. *)
+
+val fields : (string * (t -> int)) list
+(** Stable (name, getter) list driving reports and JSON dumps, in
+    declaration order. *)

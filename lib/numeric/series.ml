@@ -48,9 +48,13 @@ let exp_sum_cached ?(terms = default_terms) ~beta t =
   if t < 0.0 then invalid_arg "Series.exp_sum: negative time";
   let tbl = Domain.DLS.get cache in
   let key = (beta, terms, t) in
+  let probe = Probe.local () in
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      probe.Probe.fmemo_hits <- probe.Probe.fmemo_hits + 1;
+      v
   | None ->
+      probe.Probe.fmemo_misses <- probe.Probe.fmemo_misses + 1;
       let v = exp_sum ~terms ~beta t in
       if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
       Hashtbl.add tbl key v;

@@ -1,0 +1,68 @@
+open Batsched_numeric
+
+let pct hits misses =
+  let total = hits + misses in
+  if total = 0 then None
+  else Some (100.0 *. float_of_int hits /. float_of_int total, total)
+
+let by_phase spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Sink.span) ->
+      let ms = Int64.to_float s.Sink.dur_ns /. 1e6 in
+      Hashtbl.replace tbl s.Sink.name
+        (ms :: (try Hashtbl.find tbl s.Sink.name with Not_found -> [])))
+    spans;
+  Hashtbl.fold (fun name ds acc -> (name, ds) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let add_counters buf (c : Probe.t) =
+  Buffer.add_string buf "counters\n";
+  List.iter
+    (fun (name, get) -> Printf.bprintf buf "  %-16s %12d\n" name (get c))
+    Probe.fields;
+  let derived label = function
+    | None -> ()
+    | Some (p, total) ->
+        Printf.bprintf buf "  %-16s %11.1f%%  (%d lookups)\n" label p total
+  in
+  derived "fmemo hit rate" (pct c.Probe.fmemo_hits c.Probe.fmemo_misses);
+  derived "contrib hit rate" (pct c.Probe.contrib_hits c.Probe.contrib_misses)
+
+let add_phases buf spans =
+  match by_phase spans with
+  | [] -> ()
+  | phases ->
+      let grand_total =
+        List.fold_left
+          (fun acc (_, ds) -> acc +. List.fold_left ( +. ) 0.0 ds)
+          0.0 phases
+      in
+      let width =
+        List.fold_left
+          (fun acc (name, _) -> max acc (String.length name))
+          (String.length "phase") phases
+      in
+      Printf.bprintf buf "\n%-*s %7s %12s %10s %10s %10s %10s\n" width "phase"
+        "count" "total ms" "mean" "p50" "p90" "max";
+      List.iter
+        (fun (name, ds) ->
+          let total = List.fold_left ( +. ) 0.0 ds in
+          let _, max_d = Stats.min_max ds in
+          let share = if grand_total > 0.0 then total /. grand_total else 0.0 in
+          let bar =
+            String.make
+              (int_of_float (Float.round (share *. 24.0)))
+              '#'
+          in
+          Printf.bprintf buf
+            "%-*s %7d %12.3f %10.3f %10.3f %10.3f %10.3f  %s\n" width name
+            (List.length ds) total (Stats.mean ds) (Stats.median ds)
+            (Stats.percentile 90.0 ds) max_d bar)
+        phases
+
+let to_string sink =
+  let buf = Buffer.create 1024 in
+  add_counters buf (Probe.totals ());
+  add_phases buf (Sink.spans sink);
+  Buffer.contents buf

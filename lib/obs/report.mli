@@ -1,0 +1,11 @@
+(** Human-readable run report: counter table + per-phase wall time.
+
+    The counter block prints every {!Batsched_numeric.Probe} field (the
+    process-global totals) plus derived cache hit rates.  The phase
+    block — present when the sink recorded spans — summarizes per-phase
+    wall time through {!Batsched_numeric.Stats} (mean, median, 90th
+    percentile, max) with a total-time share bar per phase. *)
+
+val to_string : Sink.t -> string
+(** Render the report.  With {!Sink.noop} only the counter block
+    appears (counting is always on; timers need an active sink). *)

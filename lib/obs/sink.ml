@@ -1,0 +1,104 @@
+type span = {
+  track : int;
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+}
+
+type state = {
+  mutex : Mutex.t;
+  epoch_ns : int64;
+  mutable merged : span list;
+}
+
+type t = Noop | Active of state
+
+let noop = Noop
+
+let is_active = function Noop -> false | Active _ -> true
+
+(* Per-domain span buffer: spans are recorded locally (no locks on the
+   hot path) and batch-merged under the sink mutex when the domain
+   leaves its pool region (or at export, for the main domain). *)
+type buffer = { mutable spans : span list; mutable track : int }
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { spans = []; track = 0 })
+
+(* The sink pool-worker hooks flush into.  [Pool] hooks are global and
+   worker domains carry no sink reference, so only one sink can collect
+   spans at a time: [create] supersedes the previous one (whose already
+   merged spans stay readable). *)
+let ambient : t Atomic.t = Atomic.make Noop
+
+let flush_local st =
+  let b = Domain.DLS.get buffer_key in
+  match b.spans with
+  | [] -> ()
+  | spans ->
+      Mutex.lock st.mutex;
+      st.merged <- List.rev_append spans st.merged;
+      Mutex.unlock st.mutex;
+      b.spans <- []
+
+let pool_hooks =
+  lazy
+    (Batsched_numeric.Pool.set_worker_hooks
+       ~on_start:(fun w -> (Domain.DLS.get buffer_key).track <- w)
+       ~on_finish:(fun _ ->
+         (match Atomic.get ambient with
+         | Noop -> (Domain.DLS.get buffer_key).spans <- []
+         | Active st -> flush_local st);
+         (Domain.DLS.get buffer_key).track <- 0))
+
+let create () =
+  Lazy.force pool_hooks;
+  let st =
+    { mutex = Mutex.create ();
+      epoch_ns = Monotonic_clock.now ();
+      merged = [] }
+  in
+  (* Drop any spans a superseded sink left unflushed in this domain so
+     they cannot leak into the new sink's merge. *)
+  (Domain.DLS.get buffer_key).spans <- [];
+  let t = Active st in
+  Atomic.set ambient t;
+  t
+
+let with_span t name f =
+  match t with
+  | Noop -> f ()
+  | Active _ ->
+      let b = Domain.DLS.get buffer_key in
+      let t0 = Monotonic_clock.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Monotonic_clock.now () in
+          b.spans <-
+            { track = b.track; name; start_ns = t0; dur_ns = Int64.sub t1 t0 }
+            :: b.spans)
+        f
+
+let compare_span (a : span) (b : span) =
+  let c = Int.compare a.track b.track in
+  if c <> 0 then c
+  else
+    let c = Int64.compare a.start_ns b.start_ns in
+    if c <> 0 then c
+    else
+      (* longer first, so an enclosing span precedes the children it
+         shares a start timestamp with *)
+      let c = Int64.compare b.dur_ns a.dur_ns in
+      if c <> 0 then c else String.compare a.name b.name
+
+let spans t =
+  match t with
+  | Noop -> []
+  | Active st ->
+      flush_local st;
+      Mutex.lock st.mutex;
+      let merged = st.merged in
+      Mutex.unlock st.mutex;
+      List.sort compare_span merged
+
+let epoch_ns = function Noop -> 0L | Active st -> st.epoch_ns

@@ -1,0 +1,50 @@
+(** Span-timer sink: monotonic-clock phase timing with a no-op mode.
+
+    A sink is either {!noop} — every {!with_span} call reduces to one
+    branch and a direct call, no clock reads, no allocation — or active,
+    in which case spans are stamped with the monotonic clock and
+    recorded in a {e per-domain} buffer (no locks on the hot path).
+
+    Buffers merge into the sink when a {!Batsched_numeric.Pool} worker
+    finishes its slice (hooks installed on first {!create}) and when the
+    main domain calls {!spans}; the merge is batched under one mutex.
+    Timing never feeds back into the computation, so instrumented runs
+    return bit-identical schedules and sigma — property-tested in
+    [test/test_obs.ml].
+
+    Only one sink collects at a time: worker domains reach the sink
+    through an ambient reference, which {!create} supersedes.  Spans a
+    superseded sink already merged remain readable through it. *)
+
+type span = {
+  track : int;        (** pool worker index; [0] is the main domain *)
+  name : string;      (** phase name, e.g. ["window"], ["choose"] *)
+  start_ns : int64;   (** monotonic-clock start *)
+  dur_ns : int64;     (** duration, nanoseconds *)
+}
+
+type t
+
+val noop : t
+(** The disabled sink: {!with_span} is a tail call to the thunk. *)
+
+val create : unit -> t
+(** A fresh active sink, installed as the collector for subsequent
+    spans (superseding any previous sink).  Records its creation time
+    as the trace epoch. *)
+
+val is_active : t -> bool
+(** [false] exactly for {!noop}. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f ()]; on an active sink it records a
+    [name] span around the call (also when [f] raises). *)
+
+val spans : t -> span list
+(** All merged spans, sorted by track, then start time, then duration
+    decreasing (an enclosing span precedes children sharing its start).
+    Empty for {!noop}.  Flushes the calling domain's buffer first. *)
+
+val epoch_ns : t -> int64
+(** The sink's creation timestamp — the zero point of trace export.
+    [0L] for {!noop}. *)

@@ -1,0 +1,16 @@
+(** Chrome trace-event export.
+
+    Serializes a sink's spans in the Trace Event Format's JSON-object
+    form (complete ["X"] events plus thread-name metadata), which
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto} load
+    directly.  One track ([tid]) per pool worker slot: [tid 0] is the
+    main domain, [tid w] the worker that took stride [w] of a parallel
+    region.  Timestamps are microseconds from the sink's creation. *)
+
+val to_string : Sink.t -> string
+(** The complete JSON document.  A {!Sink.noop} sink yields a valid
+    trace with metadata only. *)
+
+val write : Sink.t -> string -> unit
+(** [write sink path] saves {!to_string} to [path].
+    @raise Sys_error as [open_out]. *)

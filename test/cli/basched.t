@@ -74,3 +74,35 @@ Multi-start search with local-search polish, and the exact reference:
   schedule: A,B,C / P2,P1,P3
   finish:   15.00 min
   sigma:    15980.1 mA*min
+
+Observability: the work-counter block of --stats is deterministic for a
+fixed instance (the phase timings below it are not, so the report is
+cut off after the counters):
+
+  $ basched pipe.btg --deadline 15 --stats | sed -n '/^counters/,/contrib hit rate/p'
+  counters
+    sigma_evals                 7
+    fmemo_hits                  5
+    fmemo_misses                7
+    contrib_hits               15
+    contrib_misses              6
+    dpf_steps                  14
+    window_evals                4
+    choose_calls                4
+    iterations                  2
+    anneal_accepted             0
+    anneal_rejected             0
+    pool_regions                0
+    pool_tasks                  4
+    fmemo hit rate          41.7%  (12 lookups)
+    contrib hit rate        71.4%  (21 lookups)
+
+--trace writes a Chrome trace-event file: 2 iteration spans plus a
+window and a choose span per window evaluation, and per-track metadata:
+
+  $ basched pipe.btg --deadline 15 --trace out.json | tail -1
+  wrote trace to out.json (load it in chrome://tracing or ui.perfetto.dev)
+  $ grep -c '"ph":"X"' out.json
+  10
+  $ grep -c '"ph":"M"' out.json
+  2

@@ -22,3 +22,14 @@ Bad input is rejected:
   $ battsim sigma --load banana
   battsim: bad load (want I:D): banana
   [124]
+
+Every subcommand takes --stats and --trace; a sigma evaluation is one
+counted model call under one top-level span:
+
+  $ battsim sigma --load 500:10 --stats | sed -n '/^counters/,/sigma_evals/p'
+  counters
+    sigma_evals                 1
+  $ battsim sigma --load 500:10 --trace t.json | tail -1
+  wrote trace to t.json
+  $ grep -c '"name":"sigma"' t.json
+  1

@@ -1,0 +1,457 @@
+(* Tests for the observability layer: the central guarantee is that
+   instrumentation never changes the computation — an active sink and
+   the work counters must leave schedules and sigma bit-identical to an
+   uninstrumented run, at pool size 1 and N.  Plus: the Chrome trace
+   export is well-formed JSON with properly nested spans, counters are
+   deterministic, and the Log facade filters by level. *)
+
+open Batsched_taskgraph
+open Batsched_sched
+module Sink = Batsched_obs.Sink
+module Trace = Batsched_obs.Trace
+module Report = Batsched_obs.Report
+module Log = Batsched_obs.Log
+module Probe = Batsched_numeric.Probe
+
+let parallel_pool = Batsched_numeric.Pool.create 4
+
+let run_multistart ?(pool = Batsched_numeric.Pool.sequential)
+    ?(obs = Sink.noop) g ~deadline =
+  let cfg = Batsched.Config.make ~pool ~obs ~deadline () in
+  Batsched.Iterate.run_multistart
+    ~rng:(Batsched_numeric.Rng.create 11) ~starts:6 cfg g
+
+let same_result name (a : Batsched.Iterate.result)
+    (b : Batsched.Iterate.result) =
+  Alcotest.(check (list int))
+    (name ^ " sequence") a.Batsched.Iterate.schedule.Schedule.sequence
+    b.Batsched.Iterate.schedule.Schedule.sequence;
+  Alcotest.(check (list int))
+    (name ^ " assignment")
+    (Assignment.to_list a.Batsched.Iterate.schedule.Schedule.assignment)
+    (Assignment.to_list b.Batsched.Iterate.schedule.Schedule.assignment);
+  Alcotest.(check bool) (name ^ " sigma bit-identical") true
+    (Float.equal a.Batsched.Iterate.sigma b.Batsched.Iterate.sigma)
+
+let published_cases =
+  (Instances.g3, Instances.g3_deadline)
+  :: List.map (fun d -> (Instances.g2, d)) Instances.g2_deadlines
+
+(* --- instrumentation does not perturb results --- *)
+
+let test_active_sink_identical_sequential () =
+  List.iter
+    (fun (g, deadline) ->
+      let plain = run_multistart g ~deadline in
+      let traced = run_multistart ~obs:(Sink.create ()) g ~deadline in
+      same_result (Graph.label g ^ " seq") plain traced)
+    published_cases
+
+let test_active_sink_identical_parallel () =
+  List.iter
+    (fun (g, deadline) ->
+      let plain = run_multistart ~pool:parallel_pool g ~deadline in
+      let traced =
+        run_multistart ~pool:parallel_pool ~obs:(Sink.create ()) g ~deadline
+      in
+      same_result (Graph.label g ^ " par") plain traced)
+    published_cases
+
+let gen_case =
+  QCheck.(map
+            (fun (seed, slack10) ->
+              let rng = Batsched_numeric.Rng.create seed in
+              let spec =
+                { Generators.default_spec with Generators.num_points = 4 }
+              in
+              let g = Generators.fork_join ~rng ~spec ~widths:[ 2; 3 ] in
+              let slack = 0.05 +. (0.9 *. float_of_int slack10 /. 10.0) in
+              (g, Generators.feasible_deadline g ~slack))
+            (pair (int_bound 10_000) (int_bound 10)))
+
+let prop_instrumented_matches_uninstrumented =
+  QCheck.Test.make ~count:25
+    ~name:"active sink + parallel pool bit-identical to noop sequential"
+    gen_case (fun (g, deadline) ->
+      let plain = run_multistart g ~deadline in
+      let traced =
+        run_multistart ~pool:parallel_pool ~obs:(Sink.create ()) g ~deadline
+      in
+      plain.Batsched.Iterate.schedule.Schedule.sequence
+      = traced.Batsched.Iterate.schedule.Schedule.sequence
+      && Assignment.equal
+           plain.Batsched.Iterate.schedule.Schedule.assignment
+           traced.Batsched.Iterate.schedule.Schedule.assignment
+      && Float.equal plain.Batsched.Iterate.sigma
+           traced.Batsched.Iterate.sigma)
+
+(* --- counter determinism ---
+
+   The memo caches persist across runs and are per-domain, so hit/miss
+   splits depend on cache warmth and worker placement; the F-memo sits
+   entirely behind the contribution cache, so even its lookup total
+   varies.  The deterministic quantities are the pure work counters and
+   the top-level contribution lookup total (hits + misses). *)
+
+let invariant_snapshot () =
+  let c = Probe.totals () in
+  [ ("sigma_evals", c.Probe.sigma_evals);
+    ("dpf_steps", c.Probe.dpf_steps);
+    ("window_evals", c.Probe.window_evals);
+    ("choose_calls", c.Probe.choose_calls);
+    ("iterations", c.Probe.iterations);
+    ("pool_tasks", c.Probe.pool_tasks);
+    ("contrib_lookups", c.Probe.contrib_hits + c.Probe.contrib_misses) ]
+
+let test_counters_repeatable () =
+  let snap () =
+    Probe.reset ();
+    ignore (run_multistart Instances.g2 ~deadline:75.0);
+    invariant_snapshot ()
+  in
+  Alcotest.(check (list (pair string int))) "identical totals twice"
+    (snap ()) (snap ())
+
+let test_counters_pool_size_invariant () =
+  let snap pool =
+    Probe.reset ();
+    ignore (run_multistart ~pool Instances.g3 ~deadline:Instances.g3_deadline);
+    invariant_snapshot ()
+  in
+  Alcotest.(check (list (pair string int))) "pool 1 = pool 4"
+    (snap Batsched_numeric.Pool.sequential) (snap parallel_pool)
+
+let test_counters_count_real_work () =
+  Probe.reset ();
+  ignore (run_multistart Instances.g2 ~deadline:75.0);
+  let c = Probe.totals () in
+  Alcotest.(check bool) "sigma evals happened" true (c.Probe.sigma_evals > 0);
+  Alcotest.(check bool) "iterations happened" true (c.Probe.iterations > 0);
+  Alcotest.(check bool) "windows evaluated" true (c.Probe.window_evals > 0);
+  Alcotest.(check bool) "multistart mapped tasks" true (c.Probe.pool_tasks >= 6)
+
+(* --- trace export: a minimal JSON reader ---
+
+   No JSON library in the image, so validity is checked with a small
+   recursive-descent parser covering exactly the grammar the exporter
+   can emit (objects, arrays, strings with escapes, numbers). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Bad_json of string
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "short \\u escape";
+              let hex = String.sub text !pos 4 in
+              ignore (int_of_string ("0x" ^ hex));
+              pos := !pos + 4;
+              Buffer.add_char buf '?';
+              go ()
+          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
+              advance ();
+              Buffer.add_char buf c;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word value =
+    if !pos + String.length word <= len
+       && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let traced_run () =
+  let obs = Sink.create () in
+  ignore
+    (run_multistart ~pool:parallel_pool ~obs Instances.g3
+       ~deadline:Instances.g3_deadline);
+  obs
+
+let trace_events obs =
+  match field "traceEvents" (parse_json (Trace.to_string obs)) with
+  | Some (Arr events) -> events
+  | _ -> Alcotest.fail "traceEvents missing or not an array"
+
+let test_trace_wellformed () =
+  let events = traced_run () |> trace_events in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  List.iter
+    (fun e ->
+      let str name =
+        match field name e with
+        | Some (Str s) -> s
+        | _ -> Alcotest.fail (name ^ " missing or not a string")
+      in
+      let num name =
+        match field name e with
+        | Some (Num f) -> f
+        | _ -> Alcotest.fail (name ^ " missing or not a number")
+      in
+      ignore (num "pid");
+      ignore (num "tid");
+      ignore (str "name");
+      match str "ph" with
+      | "X" ->
+          Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.0);
+          Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.0)
+      | "M" -> ()
+      | ph -> Alcotest.fail ("unexpected phase " ^ ph))
+    events
+
+let test_trace_noop_valid () =
+  let events = trace_events Sink.noop in
+  List.iter
+    (fun e ->
+      match field "ph" e with
+      | Some (Str "M") -> ()
+      | _ -> Alcotest.fail "noop trace should hold metadata only")
+    events
+
+let test_trace_has_expected_phases () =
+  let events = traced_run () |> trace_events in
+  let names =
+    List.filter_map
+      (fun e ->
+        match (field "ph" e, field "name" e) with
+        | Some (Str "X"), Some (Str n) -> Some n
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " span present") true
+        (List.mem expected names))
+    [ "start"; "iteration"; "window"; "choose" ]
+
+let test_spans_nest () =
+  (* on each track, two spans either do not overlap or one contains the
+     other: phase timers follow the call structure *)
+  let spans = Sink.spans (traced_run ()) in
+  let open Int64 in
+  let contains (a : Sink.span) (b : Sink.span) =
+    a.Sink.start_ns <= b.Sink.start_ns
+    && add b.Sink.start_ns b.Sink.dur_ns <= add a.Sink.start_ns a.Sink.dur_ns
+  in
+  let disjoint (a : Sink.span) (b : Sink.span) =
+    add a.Sink.start_ns a.Sink.dur_ns <= b.Sink.start_ns
+    || add b.Sink.start_ns b.Sink.dur_ns <= a.Sink.start_ns
+  in
+  List.iter
+    (fun (a : Sink.span) ->
+      List.iter
+        (fun (b : Sink.span) ->
+          if a != b && a.Sink.track = b.Sink.track then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s nest or disjoint" a.Sink.name b.Sink.name)
+              true
+              (contains a b || contains b a || disjoint a b))
+        spans)
+    spans
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_report_lists_counters () =
+  Probe.reset ();
+  let obs = Sink.create () in
+  ignore (run_multistart ~obs Instances.g2 ~deadline:75.0);
+  let report = Report.to_string obs in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (name ^ " in report") true
+        (contains_substring report name))
+    Probe.fields
+
+(* --- the Log facade --- *)
+
+let with_captured_log level f =
+  let lines = ref [] in
+  Log.set_output (fun line -> lines := line :: !lines);
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level Log.Quiet;
+      Log.set_output (fun line ->
+        output_string stderr (line ^ "\n");
+        flush stderr))
+    (fun () -> f ());
+  List.rev !lines
+
+let test_log_quiet_by_default () =
+  Alcotest.(check bool) "quiet" true (Log.level () = Log.Quiet);
+  let lines =
+    with_captured_log Log.Quiet (fun () ->
+        Log.err (fun () -> "e");
+        Log.debug (fun () -> "d"))
+  in
+  Alcotest.(check (list string)) "nothing emitted" [] lines
+
+let test_log_level_filters () =
+  let lines =
+    with_captured_log Log.Warn (fun () ->
+        Log.err (fun () -> "an error");
+        Log.warn (fun () -> "a warning");
+        Log.info (fun () -> "some info");
+        Log.debug (fun () -> "noise"))
+  in
+  Alcotest.(check (list string)) "err+warn only"
+    [ "basched: [error] an error"; "basched: [warn] a warning" ]
+    lines
+
+let test_log_disabled_thunk_not_forced () =
+  let forced = ref false in
+  let _ =
+    with_captured_log Log.Error (fun () ->
+        Log.debug (fun () -> forced := true; "expensive"))
+  in
+  Alcotest.(check bool) "thunk skipped" false !forced
+
+let test_log_of_string () =
+  Alcotest.(check bool) "debug" true (Log.of_string "debug" = Some Log.Debug);
+  Alcotest.(check bool) "quiet" true (Log.of_string "quiet" = Some Log.Quiet);
+  Alcotest.(check bool) "junk" true (Log.of_string "chatty" = None)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_instrumented_matches_uninstrumented ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "no perturbation",
+        [ Alcotest.test_case "published instances, pool 1" `Quick
+            test_active_sink_identical_sequential;
+          Alcotest.test_case "published instances, pool 4" `Quick
+            test_active_sink_identical_parallel ] );
+      ( "counters",
+        [ Alcotest.test_case "repeatable" `Quick test_counters_repeatable;
+          Alcotest.test_case "pool-size invariant" `Quick
+            test_counters_pool_size_invariant;
+          Alcotest.test_case "count real work" `Quick
+            test_counters_count_real_work ] );
+      ( "trace",
+        [ Alcotest.test_case "well-formed JSON" `Quick test_trace_wellformed;
+          Alcotest.test_case "noop trace valid" `Quick test_trace_noop_valid;
+          Alcotest.test_case "expected phases" `Quick
+            test_trace_has_expected_phases;
+          Alcotest.test_case "spans nest" `Quick test_spans_nest;
+          Alcotest.test_case "report lists every counter" `Quick
+            test_report_lists_counters ] );
+      ( "log",
+        [ Alcotest.test_case "quiet by default" `Quick
+            test_log_quiet_by_default;
+          Alcotest.test_case "level filters" `Quick test_log_level_filters;
+          Alcotest.test_case "disabled thunk not forced" `Quick
+            test_log_disabled_thunk_not_forced;
+          Alcotest.test_case "of_string" `Quick test_log_of_string ] );
+      ("properties", qcheck_tests) ]
