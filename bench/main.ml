@@ -221,7 +221,44 @@ let scenario_scaling =
       [ ("sequential", Batsched_numeric.Pool.sequential);
         ("parallel", Batsched_numeric.Pool.create_recommended ()) ]
 
-let scenarios = scenario_kernels @ scenario_artifacts @ scenario_scaling
+(* The incremental-vs-reference choose pair on one n64 instance: same
+   graph, same sequence, same window, only the CalculateDPF evaluation
+   strategy differs — the ratio of the two rows is the speedup the
+   incremental path buys, machine-independently.  The short annealing
+   walk exercises the hot sigma/cache path under a workload that, unlike
+   [Iterate], revisits near-identical profiles thousands of times. *)
+let scenario_choose =
+  let g = fork_join [ 15; 15; 15; 14 ] in
+  let deadline =
+    Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+  in
+  let cfg = Batsched.Config.make ~deadline () in
+  let seq = Batsched_sched.Priorities.sequence_dec_energy g in
+  [ ("choose-n64/window0",
+     fun () ->
+       ignore
+         (Batsched.Choose.choose_design_points cfg g ~sequence:seq
+            ~window_start:0));
+    ("choose-n64-reference/window0",
+     fun () ->
+       ignore
+         (Batsched.Choose.choose_design_points_reference cfg g ~sequence:seq
+            ~window_start:0));
+    (let params =
+       { Batsched_baselines.Annealing.initial_temperature = 2000.0;
+         cooling = 0.8;
+         steps_per_temperature = 10;
+         temperature_floor = 500.0 }
+     in
+     ("anneal-n64/short-walk",
+      fun () ->
+        let rng = Batsched_numeric.Rng.create 11 in
+        ignore
+          (Batsched_baselines.Annealing.run ~params ~rng ~model g ~deadline)))
+  ]
+
+let scenarios =
+  scenario_kernels @ scenario_artifacts @ scenario_scaling @ scenario_choose
 
 (* --- smoke: run every scenario exactly once --- *)
 
@@ -236,16 +273,38 @@ let run_smoke () =
 
    Wall time alone cannot tell an algorithmic regression from machine
    noise; the counter snapshot records how much work each scenario did
-   (sigma evaluations, cache hit rates, pool fan-out).  Counts are
-   deterministic for a fixed scenario, so BENCH_*.json diffs cleanly
-   across PRs. *)
+   (sigma evaluations, cache hit rates, pool fan-out) and how much it
+   allocated ([Gc] word deltas; main domain only, so parallel scenarios
+   under-report worker allocations).  Counts are deterministic for a
+   fixed scenario, so BENCH_*.json diffs cleanly across PRs — the
+   allocation words are exact repeats too, modulo first-call cache
+   warm-up. *)
+
+type profile_row = {
+  counters : Batsched_numeric.Probe.t;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
 
 let work_profile () =
   List.map
     (fun (name, fn) ->
       Batsched_numeric.Probe.reset ();
+      (* [Gc.minor_words] reads the allocation pointer, so the minor
+         delta is word-exact; [quick_stat] only refreshes the major/
+         promoted totals at collection boundaries, which is fine for
+         the coarser major-heap numbers *)
+      let s0 = Gc.quick_stat () in
+      let w0 = Gc.minor_words () in
       fn ();
-      (name, Batsched_numeric.Probe.totals ()))
+      let w1 = Gc.minor_words () in
+      let s1 = Gc.quick_stat () in
+      ( name,
+        { counters = Batsched_numeric.Probe.totals ();
+          minor_words = w1 -. w0;
+          major_words = s1.Gc.major_words -. s0.Gc.major_words;
+          promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words } ))
     scenarios
 
 (* --- bechamel estimation --- *)
@@ -318,7 +377,8 @@ let counters_for profile name =
   in
   List.assoc_opt (strip name) profile
 
-let json_counters (c : Batsched_numeric.Probe.t) =
+let json_counters row =
+  let c = row.counters in
   let fields =
     List.map
       (fun (name, get) -> Printf.sprintf "\"%s\": %d" name (get c))
@@ -329,15 +389,38 @@ let json_counters (c : Batsched_numeric.Probe.t) =
     if total = 0 then "null"
     else Printf.sprintf "%.4f" (float_of_int hits /. float_of_int total)
   in
+  let per words calls =
+    if calls = 0 then "null"
+    else Printf.sprintf "%.1f" (words /. float_of_int calls)
+  in
   let derived =
     [ Printf.sprintf "\"fmemo_hit_rate\": %s"
         (rate c.Batsched_numeric.Probe.fmemo_hits
            c.Batsched_numeric.Probe.fmemo_misses);
       Printf.sprintf "\"contrib_hit_rate\": %s"
         (rate c.Batsched_numeric.Probe.contrib_hits
-           c.Batsched_numeric.Probe.contrib_misses) ]
+           c.Batsched_numeric.Probe.contrib_misses);
+      Printf.sprintf "\"minor_words\": %.0f" row.minor_words;
+      Printf.sprintf "\"major_words\": %.0f" row.major_words;
+      Printf.sprintf "\"promoted_words\": %.0f" row.promoted_words;
+      Printf.sprintf "\"words_per_choose\": %s"
+        (per row.minor_words c.Batsched_numeric.Probe.choose_calls);
+      Printf.sprintf "\"words_per_sigma\": %s"
+        (per row.minor_words c.Batsched_numeric.Probe.sigma_evals) ]
   in
   "{" ^ String.concat ", " (fields @ derived) ^ "}"
+
+(* Provenance header: which commit produced the file and how wide the
+   recommended pool is on this machine.  [git_rev] degrades to
+   "unknown" outside a work tree (e.g. a distributed tarball). *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
 let write_json path rows profile =
   let oc =
@@ -346,7 +429,10 @@ let write_json path rows profile =
       Printf.eprintf "bench: cannot write %s (%s)\n%!" path msg;
       exit 2
   in
-  output_string oc "{\n  \"rows\": [\n";
+  Printf.fprintf oc "{\n  \"git_rev\": \"%s\",\n  \"pool_size\": %d,\n"
+    (json_escape (git_rev ()))
+    (Batsched_numeric.Pool.recommended ());
+  output_string oc "  \"rows\": [\n";
   List.iteri
     (fun i (name, estimate, r2) ->
       let counters =

@@ -21,33 +21,33 @@ let sigma_reference ?(terms = Series.default_terms) ?(beta = default_beta) p
 (* Fast path: the truncation is evaluated lazily during the interval
    fold (no profile copy), the kernel comes from the memoized
    [Series.exp_sum_cached] tails, and whole per-interval contributions
-   are memoized on [(start, duration, current, at)] — candidate
-   schedules sharing a committed prefix/suffix with an already-costed
-   one pay only for the intervals that moved.  Domain-local, flushed
-   wholesale at [cache_limit] entries. *)
-let cache_limit = 1 lsl 16
-
-let contribution_cache :
-    ((float * int * float * float * float * float), float) Hashtbl.t
-    Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+   are memoized on [(beta, terms, start, duration, current, at)] —
+   candidate schedules sharing a committed prefix/suffix with an
+   already-costed one pay only for the intervals that moved.  The memo
+   is a domain-local [Fcache]: the six-float key is hashed on its raw
+   words (no tuple allocation, no polymorphic hashing per lookup) and
+   entries expire half a table at a time instead of the former
+   wholesale [Hashtbl.reset]. *)
+let contribution_cache : Fcache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Fcache.create ~arity:6 ())
 
 let contribution ~terms ~beta ~start ~duration ~current ~at =
   let tbl = Domain.DLS.get contribution_cache in
-  let key = (beta, terms, start, duration, current, at) in
+  let terms_f = float_of_int terms in
   let probe = Probe.local () in
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      probe.Probe.contrib_hits <- probe.Probe.contrib_hits + 1;
-      v
-  | None ->
-      probe.Probe.contrib_misses <- probe.Probe.contrib_misses + 1;
-      let a = Float.max 0.0 (at -. start -. duration) in
-      let b = at -. start in
-      let v = current *. (duration +. Series.kernel ~terms ~beta a b) in
-      if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
-      Hashtbl.add tbl key v;
-      v
+  let v = Fcache.find6 tbl beta terms_f start duration current at in
+  if Float.is_nan v then begin
+    probe.Probe.contrib_misses <- probe.Probe.contrib_misses + 1;
+    let a = Float.max 0.0 (at -. start -. duration) in
+    let b = at -. start in
+    let v = current *. (duration +. Series.kernel ~terms ~beta a b) in
+    Fcache.add6 tbl beta terms_f start duration current at ~value:v;
+    v
+  end
+  else begin
+    probe.Probe.contrib_hits <- probe.Probe.contrib_hits + 1;
+    v
+  end
 
 let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
   if at < 0.0 then invalid_arg "Rakhmatov.sigma: negative time";

@@ -1,0 +1,77 @@
+(** Open-addressed, float-keyed memo table for the numeric hot paths.
+
+    The [Hashtbl] caches this replaces paid, on every lookup, for a
+    freshly allocated tuple key, a polymorphic-hash walk over it, and a
+    [find_opt] option — plus a wholesale [Hashtbl.reset] cliff when the
+    table filled.  An [Fcache] key is a fixed number of floats hashed on
+    their [Int64.bits_of_float] words directly into a flat open-addressed
+    table: a lookup allocates nothing and touches at most {!max_probe}
+    adjacent slots.
+
+    {2 Semantics}
+
+    The table is a {e lossy} memo, not a map: [add] may silently evict
+    other entries (bounded probing) and entries expire generationally,
+    so a [find] after an [add] is allowed to miss.  What is guaranteed
+    is that a hit returns exactly the value stored by the most recent
+    [add] for that key — for a cache of a pure function that is the only
+    property correctness needs.  Keys are compared bit-for-bit on their
+    float words ([nan] keys never match anything; do not use them).
+
+    {2 Eviction}
+
+    Entries are stamped with a generation.  Every [capacity / 2]
+    insertions the generation advances and the {e older} half of the
+    live entries becomes reclaimable in place — newly inserted entries
+    overwrite expired slots as they are probed.  Unlike the previous
+    [Hashtbl.reset], a full table therefore never drops its warm recent
+    half, and no O(capacity) sweep ever runs.  A hit refreshes its
+    entry's stamp, so hot keys survive indefinitely.
+
+    Stored values must not be [nan]: [nan] is the miss sentinel
+    returned by [find]. *)
+
+type t
+
+val create : ?capacity:int -> arity:int -> unit -> t
+(** [create ~arity ()] is an empty table whose keys are [arity] floats
+    ([1 <= arity <= 8]).  [capacity] (default [65536]) is rounded up to
+    a power of two and is the total slot count; the live working set is
+    bounded by it and generations turn over every [capacity / 2]
+    insertions.
+    @raise Invalid_argument on a non-positive capacity or an arity
+    outside [1..8]. *)
+
+val max_probe : int
+(** Slots examined per lookup/insert (8): the bound that keeps misses
+    O(1) in a table that never tombstones. *)
+
+val capacity : t -> int
+val arity : t -> int
+
+val find3 : t -> float -> float -> float -> float
+(** [find3 t k0 k1 k2] is the cached value for the key [(k0, k1, k2)],
+    or [nan] when absent (test with [Float.is_nan]).  The table must
+    have arity 3. @raise Invalid_argument on an arity mismatch. *)
+
+val add3 : t -> float -> float -> float -> value:float -> unit
+(** Insert or overwrite.  @raise Invalid_argument on arity mismatch. *)
+
+val find6 : t -> float -> float -> float -> float -> float -> float -> float
+(** As {!find3} for 6-float keys. *)
+
+val add6 :
+  t -> float -> float -> float -> float -> float -> float -> value:float ->
+  unit
+(** As {!add3} for 6-float keys. *)
+
+val clear : t -> unit
+(** Forget every entry (O(capacity); test/bench helper, not hot path). *)
+
+val live_count : t -> int
+(** Number of slots holding a non-expired entry.  O(capacity); always
+    [<= capacity t].  Test/introspection helper. *)
+
+val generation : t -> int
+(** The current generation stamp (starts at 1, advances every
+    [capacity / 2] insertions).  Test/introspection helper. *)

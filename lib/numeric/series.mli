@@ -20,12 +20,21 @@
 
     The two-sided kernel telescopes as [F(a, b) = F(a) - F(b)] over the
     one-sided tail {!exp_sum}, so {!kernel} is served from a memoized,
-    domain-local table of tail values keyed on [(beta, terms, t)]:
+    domain-local {!Fcache} of tail values keyed on [(beta, terms, t)]
+    (raw float words, no per-lookup allocation, generational eviction):
     adjacent intervals of a back-to-back profile share their boundary
     evaluations, and repeated sigma evaluations over the same candidate
     schedules hit the table outright.  {!kernel_direct} bypasses the
     cache and sums the differences term by term — it is the reference
-    the property tests compare against. *)
+    the property tests compare against.
+
+    {2 Negative-time noise}
+
+    Time arguments are typically differences of profile endpoints, so
+    float cancellation can produce a few-ulp negative where the exact
+    value is zero.  {!exp_sum} and {!exp_sum_cached} clamp arguments in
+    [[-1e-12, 0)] to [0.0]; anything more negative is a genuine caller
+    bug and still raises. *)
 
 val default_terms : int
 (** Number of series terms used by the paper (10). *)
@@ -33,8 +42,9 @@ val default_terms : int
 val exp_sum : ?terms:int -> beta:float -> float -> float
 (** [exp_sum ~beta t] is [2 * sum_{m=1..terms} exp(-beta^2 m^2 t)
     / (beta^2 m^2)], the one-sided tail used to build {!kernel}.
-    [t] must be [>= 0].
-    @raise Invalid_argument on negative [t], non-positive [beta] or
+    [t] must be [>= -1e-12]; values in [[-1e-12, 0)] are cancellation
+    noise and evaluate as [0.0].
+    @raise Invalid_argument on [t < -1e-12], non-positive [beta] or
     non-positive [terms]. *)
 
 val exp_sum_cached : ?terms:int -> beta:float -> float -> float

@@ -10,10 +10,13 @@ let by_phase spans =
   List.iter
     (fun (s : Sink.span) ->
       let ms = Int64.to_float s.Sink.dur_ns /. 1e6 in
+      let ds, ws =
+        try Hashtbl.find tbl s.Sink.name with Not_found -> ([], [])
+      in
       Hashtbl.replace tbl s.Sink.name
-        (ms :: (try Hashtbl.find tbl s.Sink.name with Not_found -> [])))
+        (ms :: ds, s.Sink.alloc_words :: ws))
     spans;
-  Hashtbl.fold (fun name ds acc -> (name, ds) :: acc) tbl []
+  Hashtbl.fold (fun name dws acc -> (name, dws) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let add_counters buf (c : Probe.t) =
@@ -35,7 +38,7 @@ let add_phases buf spans =
   | phases ->
       let grand_total =
         List.fold_left
-          (fun acc (_, ds) -> acc +. List.fold_left ( +. ) 0.0 ds)
+          (fun acc (_, (ds, _)) -> acc +. List.fold_left ( +. ) 0.0 ds)
           0.0 phases
       in
       let width =
@@ -43,10 +46,10 @@ let add_phases buf spans =
           (fun acc (name, _) -> max acc (String.length name))
           (String.length "phase") phases
       in
-      Printf.bprintf buf "\n%-*s %7s %12s %10s %10s %10s %10s\n" width "phase"
-        "count" "total ms" "mean" "p50" "p90" "max";
+      Printf.bprintf buf "\n%-*s %7s %12s %10s %10s %10s %10s %10s\n" width
+        "phase" "count" "total ms" "mean" "p50" "p90" "max" "kw/call";
       List.iter
-        (fun (name, ds) ->
+        (fun (name, (ds, ws)) ->
           let total = List.fold_left ( +. ) 0.0 ds in
           let _, max_d = Stats.min_max ds in
           let share = if grand_total > 0.0 then total /. grand_total else 0.0 in
@@ -56,9 +59,10 @@ let add_phases buf spans =
               '#'
           in
           Printf.bprintf buf
-            "%-*s %7d %12.3f %10.3f %10.3f %10.3f %10.3f  %s\n" width name
-            (List.length ds) total (Stats.mean ds) (Stats.median ds)
-            (Stats.percentile 90.0 ds) max_d bar)
+            "%-*s %7d %12.3f %10.3f %10.3f %10.3f %10.3f %10.1f  %s\n" width
+            name (List.length ds) total (Stats.mean ds) (Stats.median ds)
+            (Stats.percentile 90.0 ds) max_d
+            (Stats.mean ws /. 1e3) bar)
         phases
 
 let to_string sink =

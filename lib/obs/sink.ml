@@ -3,6 +3,7 @@ type span = {
   name : string;
   start_ns : int64;
   dur_ns : int64;
+  alloc_words : float;
 }
 
 type state = {
@@ -70,12 +71,15 @@ let with_span t name f =
   | Noop -> f ()
   | Active _ ->
       let b = Domain.DLS.get buffer_key in
+      let w0 = Gc.minor_words () in
       let t0 = Monotonic_clock.now () in
       Fun.protect
         ~finally:(fun () ->
           let t1 = Monotonic_clock.now () in
+          let w1 = Gc.minor_words () in
           b.spans <-
-            { track = b.track; name; start_ns = t0; dur_ns = Int64.sub t1 t0 }
+            { track = b.track; name; start_ns = t0;
+              dur_ns = Int64.sub t1 t0; alloc_words = w1 -. w0 }
             :: b.spans)
         f
 

@@ -21,6 +21,10 @@ type span = {
   name : string;      (** phase name, e.g. ["window"], ["choose"] *)
   start_ns : int64;   (** monotonic-clock start *)
   dur_ns : int64;     (** duration, nanoseconds *)
+  alloc_words : float;
+      (** minor-heap words allocated by this domain during the span
+          ([Gc.minor_words] delta); nested spans double-count their
+          children, like [dur_ns] does *)
 }
 
 type t

@@ -46,10 +46,12 @@ let to_buffer buf sink =
       emit
         (Printf.sprintf
            "  {\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\
-            \"cat\":\"batsched\",\"ts\":%.3f,\"dur\":%.3f}"
+            \"cat\":\"batsched\",\"ts\":%.3f,\"dur\":%.3f,\
+            \"args\":{\"minor_words\":%.0f}}"
            s.Sink.track (escape s.Sink.name)
            (us_of epoch s.Sink.start_ns)
-           (Int64.to_float s.Sink.dur_ns /. 1e3)))
+           (Int64.to_float s.Sink.dur_ns /. 1e3)
+           s.Sink.alloc_words))
     spans;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 

@@ -86,7 +86,7 @@ cut off after the counters):
     fmemo_misses                7
     contrib_hits               15
     contrib_misses              6
-    dpf_steps                  14
+    dpf_steps                   6
     window_evals                4
     choose_calls                4
     iterations                  2

@@ -583,6 +583,97 @@ let prop_choose_within_window =
         (fun i -> Assignment.column a i >= ws)
         (List.init (Graph.num_tasks g) Fun.id))
 
+(* --- incremental CalculateDPF vs the seed reference --- *)
+
+let test_choose_incremental_matches_reference_instances () =
+  (* selection identity on every published instance, every published
+     deadline, every feasible window start: the incremental evaluation
+     must commit exactly the schedules the seed implementation did *)
+  List.iter
+    (fun (g, deadlines) ->
+      List.iter
+        (fun deadline ->
+          let cfg = Batsched.Config.make ~deadline () in
+          let seq = Priorities.sequence_dec_energy g in
+          for ws = 0 to Batsched.Window.initial_window_start cfg g do
+            let a =
+              Batsched.Choose.choose_design_points cfg g ~sequence:seq
+                ~window_start:ws
+            in
+            let b =
+              Batsched.Choose.choose_design_points_reference cfg g
+                ~sequence:seq ~window_start:ws
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s d=%.0f ws=%d" (Graph.label g) deadline ws)
+              (Assignment.to_list b) (Assignment.to_list a)
+          done)
+        deadlines)
+    [ (Instances.g2, Instances.g2_deadlines);
+      (Instances.g3, Instances.g3_deadlines) ]
+
+let prop_choose_incremental_matches_reference =
+  QCheck.Test.make ~count:500
+    ~name:"incremental choose selects the reference schedule" gen_case
+    (fun (g, deadline) ->
+      let cfg = Batsched.Config.make ~deadline () in
+      let seq = Priorities.sequence_dec_energy g in
+      let top = Batsched.Window.initial_window_start cfg g in
+      List.for_all
+        (fun ws ->
+          Assignment.equal
+            (Batsched.Choose.choose_design_points cfg g ~sequence:seq
+               ~window_start:ws)
+            (Batsched.Choose.choose_design_points_reference cfg g
+               ~sequence:seq ~window_start:ws))
+        (List.init (top + 1) Fun.id))
+
+(* a random mid-selection state, shaped the way [choose_design_points]
+   shapes them: suffix fixed at arbitrary window columns, tagged task at
+   an arbitrary window column, free prefix parked at lowest power *)
+let random_dpf_state rng g ~window_start ~tagged_pos seq =
+  let n = Graph.num_tasks g in
+  let m = Graph.num_points g in
+  let cols = Array.make n (m - 1) in
+  let draw () =
+    window_start + Batsched_numeric.Rng.int rng (m - window_start)
+  in
+  for pos = tagged_pos to n - 1 do
+    cols.(seq.(pos)) <- draw ()
+  done;
+  Assignment.of_list g (Array.to_list cols)
+
+let prop_calculate_dpf_metrics_match =
+  QCheck.Test.make ~count:200
+    ~name:"calculate_dpf agrees with the reference within 1e-9"
+    QCheck.(pair gen_case (int_bound 10_000))
+    (fun ((g, deadline), seed) ->
+      let cfg = Batsched.Config.make ~deadline () in
+      let rng = Batsched_numeric.Rng.create (seed + 1) in
+      let seq = Array.of_list (Priorities.sequence_dec_energy g) in
+      let n = Array.length seq in
+      let ws = Batsched.Window.initial_window_start cfg g in
+      let close a b =
+        (a = Float.infinity && b = Float.infinity) || Float.abs (a -. b) <= 1e-9
+      in
+      List.for_all
+        (fun tagged_pos ->
+          let a = random_dpf_state rng g ~window_start:ws ~tagged_pos seq in
+          let r =
+            Batsched.Choose.calculate_dpf cfg g ~sequence:seq ~assignment:a
+              ~tagged_pos ~window_start:ws
+          in
+          let r' =
+            Batsched.Choose.calculate_dpf_reference cfg g ~sequence:seq
+              ~assignment:a ~tagged_pos ~window_start:ws
+          in
+          close r.Batsched.Choose.dpf r'.Batsched.Choose.dpf
+          && close r.Batsched.Choose.enr r'.Batsched.Choose.enr
+          && close r.Batsched.Choose.cif r'.Batsched.Choose.cif
+          && Assignment.equal r.Batsched.Choose.hypothetical
+               r'.Batsched.Choose.hypothetical)
+        (List.init n Fun.id))
+
 (* --- parallel paths vs the sequential reference --- *)
 
 let parallel_pool = Batsched_numeric.Pool.create 4
@@ -657,6 +748,8 @@ let qcheck_tests =
     [ prop_iterate_always_feasible;
       prop_iterate_min_sigma_monotone;
       prop_choose_within_window;
+      prop_choose_incremental_matches_reference;
+      prop_calculate_dpf_metrics_match;
       prop_parallel_multistart_matches_sequential ]
 
 let () =
@@ -694,7 +787,9 @@ let () =
           Alcotest.test_case "max iterations" `Quick test_iterate_respects_max_iterations;
           Alcotest.test_case "ideal model minimal charge" `Quick test_iterate_ideal_model_prefers_low_energy ] );
       ( "regression",
-        [ Alcotest.test_case "published points pinned" `Quick test_published_points_pinned ] );
+        [ Alcotest.test_case "published points pinned" `Quick test_published_points_pinned;
+          Alcotest.test_case "incremental matches reference on instances" `Quick
+            test_choose_incremental_matches_reference_instances ] );
       ( "preprocessing",
         [ Alcotest.test_case "reduction preserves result" `Quick test_transitive_reduction_preserves_result ] );
       ( "polish",

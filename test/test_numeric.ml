@@ -81,6 +81,82 @@ let test_series_exp_sum_matches_kernel_at_zero () =
     (Series.exp_sum ~beta 0.0 -. Series.exp_sum ~beta b)
     (Series.kernel ~beta 0.0 b)
 
+let test_series_negative_clamp () =
+  (* cancellation noise within 1e-12 of zero evaluates as zero; a
+     genuinely negative time is still a caller bug *)
+  let beta = 0.273 in
+  check_float "tiny negative clamps" (Series.exp_sum ~beta 0.0)
+    (Series.exp_sum ~beta (-1e-13));
+  check_float "cached clamps too" (Series.exp_sum_cached ~beta 0.0)
+    (Series.exp_sum_cached ~beta (-1e-13));
+  Alcotest.check_raises "beyond tolerance raises"
+    (Invalid_argument "Series.exp_sum: negative time") (fun () ->
+      ignore (Series.exp_sum ~beta (-1e-9)))
+
+let test_series_cached_across_eviction () =
+  (* churn well past the memo capacity so generations turn over, then
+     confirm cached values are still exactly what exp_sum computes *)
+  let beta = 0.273 in
+  for i = 0 to 99_999 do
+    ignore (Series.exp_sum_cached ~beta (float_of_int i /. 7.0))
+  done;
+  for i = 0 to 99 do
+    let x = float_of_int (997 * i) /. 7.0 in
+    Alcotest.(check bool) "bit-identical after churn" true
+      (Float.equal (Series.exp_sum ~beta x) (Series.exp_sum_cached ~beta x))
+  done
+
+(* --- Fcache --- *)
+
+let test_fcache_roundtrip () =
+  let t = Fcache.create ~capacity:64 ~arity:3 () in
+  Alcotest.(check bool) "fresh miss is nan" true
+    (Float.is_nan (Fcache.find3 t 1.0 2.0 3.0));
+  Fcache.add3 t 1.0 2.0 3.0 ~value:42.0;
+  check_float "hit" 42.0 (Fcache.find3 t 1.0 2.0 3.0);
+  Fcache.add3 t 1.0 2.0 3.0 ~value:7.0;
+  check_float "overwrite in place" 7.0 (Fcache.find3 t 1.0 2.0 3.0);
+  Alcotest.(check bool) "permuted key misses" true
+    (Float.is_nan (Fcache.find3 t 3.0 2.0 1.0));
+  (* keys compare bit-for-bit: -0.0 and 0.0 are different keys *)
+  Fcache.add3 t 0.0 0.0 0.0 ~value:1.0;
+  Alcotest.(check bool) "negative zero is a distinct key" true
+    (Float.is_nan (Fcache.find3 t (-0.0) 0.0 0.0));
+  Fcache.clear t;
+  Alcotest.(check bool) "cleared" true
+    (Float.is_nan (Fcache.find3 t 1.0 2.0 3.0));
+  Alcotest.(check int) "empty after clear" 0 (Fcache.live_count t)
+
+let test_fcache_arity_checked () =
+  let t = Fcache.create ~capacity:64 ~arity:3 () in
+  Alcotest.check_raises "find6 on arity 3"
+    (Invalid_argument "Fcache.find6: table has arity 3") (fun () ->
+      ignore (Fcache.find6 t 1.0 2.0 3.0 4.0 5.0 6.0));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Fcache.create: arity not in 1..8") (fun () ->
+      ignore (Fcache.create ~arity:0 ()))
+
+let test_fcache_eviction_bounded () =
+  let t = Fcache.create ~capacity:64 ~arity:3 () in
+  let cap = Fcache.capacity t in
+  let total = 4 * cap in
+  for i = 0 to total - 1 do
+    Fcache.add3 t (float_of_int i) 0.5 (-2.0) ~value:(float_of_int (2 * i))
+  done;
+  Alcotest.(check bool) "live set bounded by capacity" true
+    (Fcache.live_count t <= cap);
+  Alcotest.(check bool) "generations advanced" true (Fcache.generation t > 1);
+  (* whatever still hits must return exactly the stored value *)
+  let hits = ref 0 in
+  for i = 0 to total - 1 do
+    let v = Fcache.find3 t (float_of_int i) 0.5 (-2.0) in
+    if not (Float.is_nan v) then begin
+      incr hits;
+      check_float "hit is stored value" (float_of_int (2 * i)) v
+    end
+  done;
+  Alcotest.(check bool) "recent keys survive" true (!hits > 0)
+
 (* --- Rootfind --- *)
 
 let test_bisect_linear () =
@@ -403,6 +479,36 @@ let prop_exp_sum_cached_bit_identical =
       let t = Float.abs t in
       Series.exp_sum_cached ~beta:0.273 t = Series.exp_sum ~beta:0.273 t)
 
+let prop_fcache_matches_hashtbl_model =
+  (* behavioural equivalence with a Hashtbl that never evicts: the
+     Fcache may miss at any time, but every hit must return the value
+     of the most recent add for that key, and a find immediately after
+     an add must hit.  Capacity 64 so the op stream crosses several
+     generation flips. *)
+  QCheck.Test.make ~count:100
+    ~name:"fcache hits agree with a hashtbl model across eviction"
+    QCheck.(list_of_size Gen.(int_range 1 400) (int_bound 40))
+    (fun keys ->
+      let t = Fcache.create ~capacity:64 ~arity:3 () in
+      let model = Hashtbl.create 64 in
+      let step = ref 0 in
+      List.for_all
+        (fun k ->
+          incr step;
+          let k0 = float_of_int k in
+          let found = Fcache.find3 t k0 1.5 (-2.0) in
+          let hit_ok =
+            Float.is_nan found
+            || (match Hashtbl.find_opt model k with
+               | Some v -> Float.equal v found
+               | None -> false)
+          in
+          let v = float_of_int !step in
+          Fcache.add3 t k0 1.5 (-2.0) ~value:v;
+          Hashtbl.replace model k v;
+          hit_ok && Float.equal v (Fcache.find3 t k0 1.5 (-2.0)))
+        keys)
+
 let prop_pool_map_matches_sequential =
   QCheck.Test.make ~count:50 ~name:"pool map is order-preserving"
     QCheck.(pair (int_range 1 6) (small_list small_int))
@@ -419,6 +525,7 @@ let qcheck_tests =
       prop_kernel_matches_direct;
       prop_kernel_zero_a_matches_direct;
       prop_exp_sum_cached_bit_identical;
+      prop_fcache_matches_hashtbl_model;
       prop_pool_map_matches_sequential ]
 
 let () =
@@ -438,7 +545,13 @@ let () =
           Alcotest.test_case "decays with a" `Quick test_series_kernel_decays_with_a;
           Alcotest.test_case "large beta vanishes" `Quick test_series_large_beta_vanishes;
           Alcotest.test_case "invalid args" `Quick test_series_invalid;
-          Alcotest.test_case "exp_sum identity" `Quick test_series_exp_sum_matches_kernel_at_zero ] );
+          Alcotest.test_case "exp_sum identity" `Quick test_series_exp_sum_matches_kernel_at_zero;
+          Alcotest.test_case "negative clamp" `Quick test_series_negative_clamp;
+          Alcotest.test_case "cached across eviction" `Quick test_series_cached_across_eviction ] );
+      ( "fcache",
+        [ Alcotest.test_case "roundtrip" `Quick test_fcache_roundtrip;
+          Alcotest.test_case "arity checked" `Quick test_fcache_arity_checked;
+          Alcotest.test_case "eviction bounded" `Quick test_fcache_eviction_bounded ] );
       ( "rootfind",
         [ Alcotest.test_case "bisect linear" `Quick test_bisect_linear;
           Alcotest.test_case "brent polynomial" `Quick test_brent_polynomial;
