@@ -224,8 +224,11 @@ let scenario_scaling =
 (* The incremental-vs-reference choose pair on one n64 instance: same
    graph, same sequence, same window, only the CalculateDPF evaluation
    strategy differs — the ratio of the two rows is the speedup the
-   incremental path buys, machine-independently.  The short annealing
-   walk exercises the hot sigma/cache path under a workload that, unlike
+   incremental path buys, machine-independently.  The annealing pair
+   plays the same role for the delta schedule evaluator: the same short
+   walk (same params, same seed, same RNG stream) costed through
+   [Eval]'s O(1) moves versus the full schedule + sigma path — their
+   ratio is the delta-evaluation speedup on a workload that, unlike
    [Iterate], revisits near-identical profiles thousands of times. *)
 let scenario_choose =
   let g = fork_join [ 15; 15; 15; 14 ] in
@@ -234,6 +237,18 @@ let scenario_choose =
   in
   let cfg = Batsched.Config.make ~deadline () in
   let seq = Batsched_sched.Priorities.sequence_dec_energy g in
+  let anneal_params =
+    { Batsched_baselines.Annealing.initial_temperature = 2000.0;
+      cooling = 0.8;
+      steps_per_temperature = 10;
+      temperature_floor = 500.0 }
+  in
+  let anneal eval () =
+    let rng = Batsched_numeric.Rng.create 11 in
+    ignore
+      (Batsched_baselines.Annealing.run ~params:anneal_params ~eval ~rng ~model
+         g ~deadline)
+  in
   [ ("choose-n64/window0",
      fun () ->
        ignore
@@ -244,30 +259,82 @@ let scenario_choose =
        ignore
          (Batsched.Choose.choose_design_points_reference cfg g ~sequence:seq
             ~window_start:0));
-    (let params =
-       { Batsched_baselines.Annealing.initial_temperature = 2000.0;
-         cooling = 0.8;
-         steps_per_temperature = 10;
-         temperature_floor = 500.0 }
-     in
-     ("anneal-n64/short-walk",
-      fun () ->
-        let rng = Batsched_numeric.Rng.create 11 in
-        ignore
-          (Batsched_baselines.Annealing.run ~params ~rng ~model g ~deadline)))
-  ]
+    ("anneal-n64-delta/short-walk", anneal `Delta);
+    ("anneal-n64-reference/short-walk", anneal `Reference) ]
 
 let scenarios =
   scenario_kernels @ scenario_artifacts @ scenario_scaling @ scenario_choose
 
 (* --- smoke: run every scenario exactly once --- *)
 
+(* Delta-vs-oracle cross-check, smoke only (it is a verification, not a
+   benchmark): drive a random precedence-respecting move trace through
+   the incremental evaluator on the published instances and a generated
+   one, and compare its committed sigma/finish against the full
+   [Schedule] path at checkpoints.  A relative disagreement beyond 1e-9
+   aborts the smoke run — and with it @bench-smoke, @check and CI. *)
+let delta_cross_check () =
+  let check_instance label g ~deadline =
+    let rng = Batsched_numeric.Rng.create 123 in
+    let sol = Batsched_baselines.Chowdhury.run ~model g ~deadline in
+    let ev =
+      Batsched_sched.Eval.make ~model g sol.Batsched_baselines.Solution.schedule
+    in
+    let n = Batsched_taskgraph.Graph.num_tasks g in
+    let m = Batsched_taskgraph.Graph.num_points g in
+    let check step =
+      let sched = Batsched_sched.Eval.to_schedule ev in
+      let oracle_sigma = Batsched_sched.Schedule.battery_cost ~model g sched in
+      let oracle_finish = Batsched_sched.Schedule.finish_time g sched in
+      let agree got want = Float.abs (got -. want) <= 1e-9 *. (1.0 +. Float.abs want) in
+      if not (agree (Batsched_sched.Eval.sigma ev) oracle_sigma) then
+        failwith
+          (Printf.sprintf
+             "delta cross-check: sigma diverged on %s after %d moves: \
+              delta=%.17g oracle=%.17g"
+             label step (Batsched_sched.Eval.sigma ev) oracle_sigma);
+      if not (agree (Batsched_sched.Eval.finish ev) oracle_finish) then
+        failwith
+          (Printf.sprintf
+             "delta cross-check: finish diverged on %s after %d moves: \
+              delta=%.17g oracle=%.17g"
+             label step (Batsched_sched.Eval.finish ev) oracle_finish)
+    in
+    check 0;
+    for step = 1 to 200 do
+      (if Batsched_numeric.Rng.bool rng && n >= 2 then begin
+         let k = Batsched_numeric.Rng.int rng (n - 1) in
+         if Batsched_sched.Eval.swap_allowed ev k then begin
+           ignore (Batsched_sched.Eval.try_swap ev k);
+           Batsched_sched.Eval.commit ev
+         end
+       end
+       else begin
+         let i = Batsched_numeric.Rng.int rng n in
+         let j = Batsched_numeric.Rng.int rng m in
+         if j <> Batsched_sched.Eval.column ev i then begin
+           ignore (Batsched_sched.Eval.try_repoint ev ~task:i ~col:j);
+           Batsched_sched.Eval.commit ev
+         end
+       end);
+      if step mod 25 = 0 then check step
+    done;
+    Printf.printf "smoke %-40s ok\n%!" ("delta-cross-check/" ^ label)
+  in
+  check_instance "g2" Batsched_taskgraph.Instances.g2
+    ~deadline:(List.hd Batsched_taskgraph.Instances.g2_deadlines);
+  check_instance "g3" Batsched_taskgraph.Instances.g3 ~deadline:230.0;
+  let g = fork_join [ 5; 4; 4 ] in
+  check_instance "fork-join-n16" g
+    ~deadline:(Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6)
+
 let run_smoke () =
   List.iter
     (fun (name, fn) ->
       Batsched_obs.Sink.with_span !obs name fn;
       Printf.printf "smoke %-40s ok\n%!" name)
-    scenarios
+    scenarios;
+  delta_cross_check ()
 
 (* --- work profile: counters from one instrumented run per scenario ---
 

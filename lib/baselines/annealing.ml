@@ -23,11 +23,55 @@ let check_params p =
   if p.steps_per_temperature < 1 then invalid_arg "Annealing: bad steps";
   if not (p.temperature_floor > 0.0) then invalid_arg "Annealing: bad floor"
 
-type state = { sequence : int array; assignment : Assignment.t }
-
 (* Deadline overruns are priced steeply so the walk is pulled back into
    the feasible region: 1 minute over costs as much as ~1 A of load. *)
 let penalty_rate = 1000.0
+
+type move = Move_swap of int | Move_repoint of int * int
+
+(* One neighbourhood draw.  The control flow — and therefore the RNG
+   stream — replicates the original try-swap-or-repoint attempt loop
+   exactly, so walks replay bit-for-bit under existing seeds: each
+   attempt draws a bool; heads draws a swap position and retries (no
+   further draws) when the swap would violate precedence; tails draws
+   (task, column); after 8 failed attempts a repoint is forced. *)
+let draw_move ~rng ~n ~m ~swap_ok =
+  let repoint () =
+    let i = Rng.int rng n in
+    let j = Rng.int rng m in
+    Move_repoint (i, j)
+  in
+  let rec attempt tries =
+    if tries = 0 then repoint ()
+    else if Rng.bool rng then
+      if n < 2 then attempt (tries - 1)
+      else begin
+        let k = Rng.int rng (n - 1) in
+        if swap_ok k then Move_swap k else attempt (tries - 1)
+      end
+    else repoint ()
+  in
+  attempt 8
+
+(* A repoint onto the task's current column is a no-op: the candidate
+   equals the current state, its (deterministic) energy equals the
+   current energy bit-for-bit, so the original loop always accepted it
+   without consuming a Metropolis draw and never improved the best.
+   Both evaluation modes therefore skip the evaluation entirely and
+   book it as an accepted step — observably identical, minus the
+   wasted sigma evaluation. *)
+
+let start_solution ~model g ~deadline =
+  match Chowdhury.run ~model g ~deadline with
+  | sol -> sol
+  | exception Chowdhury.Infeasible -> raise No_feasible_state
+
+(* Reference mode: the original implementation, kept verbatim — every
+   candidate is costed through a freshly validated schedule and the
+   model's full sigma path.  This is the benchmark baseline and the
+   equivalence-test oracle for the delta mode below. *)
+
+type state = { sequence : int array; assignment : Assignment.t }
 
 let energy_of ~model g ~deadline st =
   let sequence = Array.to_list st.sequence in
@@ -41,57 +85,35 @@ let swap_ok g st k =
   let a = st.sequence.(k) and b = st.sequence.(k + 1) in
   not (List.mem b (Graph.succs g a))
 
-let neighbour ~rng g st =
-  let n = Array.length st.sequence and m = Graph.num_points g in
-  let try_swap () =
-    if n < 2 then None
-    else begin
-      let k = Rng.int rng (n - 1) in
-      if swap_ok g st k then begin
-        let seq = Array.copy st.sequence in
-        let tmp = seq.(k) in
-        seq.(k) <- seq.(k + 1);
-        seq.(k + 1) <- tmp;
-        Some { st with sequence = seq }
-      end
-      else None
-    end
-  in
-  let repoint () =
-    let i = Rng.int rng n in
-    let j = Rng.int rng m in
-    Some { st with assignment = Assignment.set st.assignment i j }
-  in
-  let rec attempt tries =
-    if tries = 0 then repoint ()
-    else
-      match (if Rng.bool rng then try_swap () else repoint ()) with
-      | Some s -> Some s
-      | None -> attempt (tries - 1)
-  in
-  match attempt 8 with Some s -> s | None -> st
+let apply_move st = function
+  | Move_swap k ->
+      let seq = Array.copy st.sequence in
+      let tmp = seq.(k) in
+      seq.(k) <- seq.(k + 1);
+      seq.(k + 1) <- tmp;
+      { st with sequence = seq }
+  | Move_repoint (i, j) -> { st with assignment = Assignment.set st.assignment i j }
 
-let run ?(params = default_params) ~rng ~model g ~deadline =
-  check_params params;
-  let start_solution =
-    try Some (Chowdhury.run ~model g ~deadline)
-    with Chowdhury.Infeasible -> None
+let run_reference ~params ~rng ~model g ~deadline sol =
+  let n = Graph.num_tasks g and m = Graph.num_points g in
+  let st =
+    ref
+      { sequence = Array.of_list sol.Solution.schedule.Schedule.sequence;
+        assignment = sol.Solution.schedule.Schedule.assignment }
   in
-  match start_solution with
-  | None -> raise No_feasible_state
-  | Some sol ->
-      let st =
-        ref
-          { sequence = Array.of_list sol.Solution.schedule.Schedule.sequence;
-            assignment = sol.Solution.schedule.Schedule.assignment }
-      in
-      let cur_energy = ref (let e, _, _, _ = energy_of ~model g ~deadline !st in e) in
-      let best = ref sol in
-      let temperature = ref params.initial_temperature in
-      let probe = Probe.local () in
-      while !temperature > params.temperature_floor do
-        for _ = 1 to params.steps_per_temperature do
-          let cand = neighbour ~rng g !st in
+  let cur_energy = ref (let e, _, _, _ = energy_of ~model g ~deadline !st in e) in
+  let best = ref sol in
+  let temperature = ref params.initial_temperature in
+  let probe = Probe.local () in
+  while !temperature > params.temperature_floor do
+    for _ = 1 to params.steps_per_temperature do
+      let mv = draw_move ~rng ~n ~m ~swap_ok:(fun k -> swap_ok g !st k) in
+      match mv with
+      | Move_repoint (i, j) when Assignment.column (!st).assignment i = j ->
+          probe.Probe.anneal_noops <- probe.Probe.anneal_noops + 1;
+          probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1
+      | _ ->
+          let cand = apply_move !st mv in
           let e, sigma, feasible, sched = energy_of ~model g ~deadline cand in
           let accept =
             e <= !cur_energy
@@ -104,9 +126,72 @@ let run ?(params = default_params) ~rng ~model g ~deadline =
             if feasible && sigma < !best.Solution.sigma then
               best := Solution.of_schedule ~model g sched
           end
-          else
-            probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1
-        done;
-        temperature := !temperature *. params.cooling
-      done;
-      !best
+          else probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1
+    done;
+    temperature := !temperature *. params.cooling
+  done;
+  !best
+
+(* Delta mode: the same walk costed through the incremental evaluator —
+   O(1) per swap candidate, O(position) per repoint, no schedule or
+   profile allocation.  Only the best feasible states (a handful per
+   run) are materialized as schedules, through the full-model
+   [Solution.of_schedule], so the reported sigma always comes from the
+   oracle path. *)
+let run_delta ~params ~rng ~model g ~deadline sol =
+  let n = Graph.num_tasks g and m = Graph.num_points g in
+  let ev = Eval.make ~model g sol.Solution.schedule in
+  let energy sigma finish =
+    sigma +. (penalty_rate *. Float.max 0.0 (finish -. deadline))
+  in
+  let cur_energy = ref (energy (Eval.sigma ev) (Eval.finish ev)) in
+  let best = ref sol in
+  let temperature = ref params.initial_temperature in
+  let probe = Probe.local () in
+  while !temperature > params.temperature_floor do
+    for _ = 1 to params.steps_per_temperature do
+      let mv = draw_move ~rng ~n ~m ~swap_ok:(fun k -> Eval.swap_allowed ev k) in
+      match mv with
+      | Move_repoint (i, j) when Eval.column ev i = j ->
+          probe.Probe.anneal_noops <- probe.Probe.anneal_noops + 1;
+          probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1
+      | _ ->
+          let sigma, finish =
+            match mv with
+            | Move_swap k -> Eval.try_swap ev k
+            | Move_repoint (i, j) -> Eval.try_repoint ev ~task:i ~col:j
+          in
+          let overrun = Float.max 0.0 (finish -. deadline) in
+          let e = sigma +. (penalty_rate *. overrun) in
+          let accept =
+            e <= !cur_energy
+            || Rng.float rng 1.0 < exp ((!cur_energy -. e) /. !temperature)
+          in
+          if accept then begin
+            probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1;
+            Eval.commit ev;
+            cur_energy := e;
+            if overrun <= 1e-9 && sigma < !best.Solution.sigma then begin
+              (* confirm through the full path before adopting: the
+                 delta sigma can sit an ulp below the full value, and
+                 on graphs with identical tasks an exact tie must stay
+                 a tie (the reference walk keeps the earlier best) *)
+              let sol = Solution.of_schedule ~model g (Eval.to_schedule ev) in
+              if sol.Solution.sigma < !best.Solution.sigma then best := sol
+            end
+          end
+          else begin
+            probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1;
+            Eval.discard ev
+          end
+    done;
+    temperature := !temperature *. params.cooling
+  done;
+  !best
+
+let run ?(params = default_params) ?(eval = `Delta) ~rng ~model g ~deadline =
+  check_params params;
+  let sol = start_solution ~model g ~deadline in
+  match eval with
+  | `Delta -> run_delta ~params ~rng ~model g ~deadline sol
+  | `Reference -> run_reference ~params ~rng ~model g ~deadline sol

@@ -27,7 +27,20 @@ val default_params : params
 (** T0 = 2000 mA*min, cooling 0.9, 60 steps per level, floor 1.0. *)
 
 val run :
-  ?params:params -> rng:Batsched_numeric.Rng.t -> model:Model.t ->
+  ?params:params -> ?eval:[ `Delta | `Reference ] ->
+  rng:Batsched_numeric.Rng.t -> model:Model.t ->
   Graph.t -> deadline:float -> Solution.t
 (** Anneal from the Chowdhury starting point.
+
+    [eval] selects the candidate-costing path: [`Delta] (default) runs
+    the walk on the incremental evaluator ({!Batsched_sched.Eval}) —
+    O(1) per swap candidate instead of a full schedule + sigma
+    evaluation; [`Reference] keeps the original full path, as oracle
+    and benchmark baseline.  Both modes draw the same RNG stream (the
+    neighbourhood control flow is shared), repoints onto the current
+    column are booked as accepted without evaluation (the original
+    always accepted them — counted in [Probe.anneal_noops]), and the
+    returned solution is always re-materialized through the full
+    model, so results agree with pre-delta runs under the same seed up
+    to sigma round-off (see {!Batsched_sched.Eval}).
     @raise No_feasible_state; @raise Invalid_argument on bad params. *)

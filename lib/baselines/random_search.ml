@@ -50,7 +50,7 @@ let random_feasible_assignment ~rng g ~deadline =
   | Some cols -> Some (Assignment.of_list g cols)
   | None -> None
 
-let run ?(samples = 200) ~rng ~model g ~deadline =
+let run_reference ~samples ~rng ~model g ~deadline =
   let best = ref None in
   for _ = 1 to samples do
     match random_feasible_assignment ~rng g ~deadline with
@@ -65,3 +65,41 @@ let run ?(samples = 200) ~rng ~model g ~deadline =
         | _ -> best := Some sol)
   done;
   match !best with Some s -> s | None -> raise No_feasible_sample
+
+(* Delta mode: same draws, but each sample is costed by re-seating one
+   reused evaluator — no per-sample schedule validation (the ready-list
+   sampler yields topological orders by construction, so [unsafe_make]
+   applies), profile allocation, or solution record.  Only the winner
+   is materialized, through the full model path. *)
+let run_delta ~samples ~rng ~model g ~deadline =
+  let ev = ref None in
+  let best = ref None in
+  for _ = 1 to samples do
+    match random_feasible_assignment ~rng g ~deadline with
+    | None -> ()
+    | Some assignment ->
+        let sequence = random_sequence ~rng g in
+        let sched = Schedule.unsafe_make g ~sequence ~assignment in
+        let e =
+          match !ev with
+          | Some e ->
+              Eval.load e sched;
+              e
+          | None ->
+              let e = Eval.make ~model g sched in
+              ev := Some e;
+              e
+        in
+        let sigma = Eval.sigma e in
+        (match !best with
+        | Some (best_sigma, _) when best_sigma <= sigma -> ()
+        | _ -> best := Some (sigma, sched))
+  done;
+  match !best with
+  | Some (_, sched) -> Solution.of_schedule ~model g sched
+  | None -> raise No_feasible_sample
+
+let run ?(samples = 200) ?(eval = `Delta) ~rng ~model g ~deadline =
+  match eval with
+  | `Delta -> run_delta ~samples ~rng ~model g ~deadline
+  | `Reference -> run_reference ~samples ~rng ~model g ~deadline

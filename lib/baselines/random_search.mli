@@ -14,9 +14,17 @@ val random_sequence : rng:Batsched_numeric.Rng.t -> Graph.t -> int list
     among ready tasks at each step). *)
 
 val run :
-  ?samples:int -> rng:Batsched_numeric.Rng.t -> model:Model.t -> Graph.t ->
+  ?samples:int -> ?eval:[ `Delta | `Reference ] ->
+  rng:Batsched_numeric.Rng.t -> model:Model.t -> Graph.t ->
   deadline:float -> Solution.t
 (** [run ~rng ~model g ~deadline] draws [samples] (default 200)
     random schedules; assignments are drawn uniformly per task and
     repaired to feasibility by speeding random tasks up while over the
-    deadline.  @raise No_feasible_sample. *)
+    deadline.
+
+    [eval] picks the per-sample costing path: [`Delta] (default)
+    re-seats one reused {!Batsched_sched.Eval} per sample and
+    materializes only the winner through the full model; [`Reference]
+    keeps the original schedule-per-sample path.  Both consume the
+    same RNG stream and agree up to sigma round-off.
+    @raise No_feasible_sample. *)

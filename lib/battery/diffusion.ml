@@ -86,4 +86,5 @@ let sigma ?(params = default_params) profile ~at =
   params.alpha -. surface ~params profile ~at
 
 let model ?params () =
-  { Model.name = "diffusion-pde"; sigma = (fun p ~at -> sigma ?params p ~at) }
+  { Model.name = "diffusion-pde"; sigma = (fun p ~at -> sigma ?params p ~at);
+    incremental = None }

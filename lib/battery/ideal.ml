@@ -5,4 +5,10 @@ let sigma p ~at =
        ~f:(fun acc ~start:_ ~duration ~current ->
          Batsched_numeric.Kahan.add acc (current *. duration)))
 
-let model = { Model.name = "ideal"; sigma }
+(* sigma is the plain charge integral: the per-interval term ignores how
+   much load follows, so every local-search move is O(1) to re-cost. *)
+let incremental =
+  { Model.term = (fun ~current ~duration ~tail:_ -> current *. duration);
+    tail_sensitive = false }
+
+let model = { Model.name = "ideal"; sigma; incremental = Some incremental }

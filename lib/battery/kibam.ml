@@ -59,4 +59,5 @@ let sigma ?(params = default_params) profile ~at =
   params.capacity -. (st.available /. params.c)
 
 let model ?params () =
-  { Model.name = "kibam"; sigma = (fun p ~at -> sigma ?params p ~at) }
+  { Model.name = "kibam"; sigma = (fun p ~at -> sigma ?params p ~at);
+    incremental = None }

@@ -1,6 +1,12 @@
+type incremental = {
+  term : current:float -> duration:float -> tail:float -> float;
+  tail_sensitive : bool;
+}
+
 type t = {
   name : string;
   sigma : Profile.t -> at:float -> float;
+  incremental : incremental option;
 }
 
 let sigma_end m p = m.sigma p ~at:(Profile.length p)

@@ -6,6 +6,35 @@
     Three implementations ship with the library: {!Ideal}, {!Peukert}
     and {!Rakhmatov} (the paper's cost function). *)
 
+type incremental = {
+  term : current:float -> duration:float -> tail:float -> float;
+  (** Per-interval contribution to sigma {e at the end of a sequential
+      profile}, in suffix-time coordinates: [tail] is the total load
+      duration scheduled strictly after the interval.  The contract is
+
+      {[ sigma (sequential ps) ~at:(length (sequential ps))
+           = sum_k (term ~current:I_k ~duration:D_k ~tail:tail_k) ]}
+
+      (up to float accumulation noise), where
+      [tail_k = sum_{j>k} D_j].  The decomposition holds for the models
+      whose sigma is a sum of independent per-interval terms at the
+      observation instant — which is exactly what makes delta
+      evaluation of local-search moves possible: an adjacent swap
+      perturbs two terms, a duration change at position [i] perturbs
+      the terms at [0..i] only.  A term with [duration = 0] must be
+      exactly [0.].  Only meaningful for gapless back-to-back profiles
+      observed at their makespan. *)
+  tail_sensitive : bool;
+  (** Whether [term] actually reads [tail].  [false] (ideal, Peukert —
+      sigma is a makespan-independent sum) lets the delta evaluator
+      skip recomputing unchanged terms whose tails moved; [true]
+      (Rakhmatov–Vrudhula — the recovery series depends on how long the
+      interval has to relax before the observation instant) forces the
+      [0..i] prefix walk on duration changes. *)
+}
+(** First-class incremental evaluation interface.  See
+    {!Delta} for the mutable schedule state built on top of it. *)
+
 type t = {
   name : string;
   (** Short identifier used in reports. *)
@@ -16,6 +45,12 @@ type t = {
       unavailable-charge component recovers during rest (or light load
       after heavy load), so sigma can dip — which is why lifetime
       estimation looks for the {e first} crossing of alpha. *)
+  incremental : incremental option;
+  (** The per-interval decomposition of [sigma] at the makespan, when
+      the model admits one; [None] (KiBaM, the diffusion PDE — stateful
+      models whose sigma does not decompose per interval) makes the
+      delta evaluator fall back to a full re-evaluation per candidate
+      move. *)
 }
 
 val sigma_end : t -> Profile.t -> float

@@ -1,9 +1,12 @@
 open Batsched_numeric
 
-let sigma ?(exponent = 1.2) ?(reference_current = 100.0) p ~at =
+let check_params exponent reference_current =
   if exponent < 1.0 then invalid_arg "Peukert.sigma: exponent must be >= 1";
   if reference_current <= 0.0 then
-    invalid_arg "Peukert.sigma: reference current must be positive";
+    invalid_arg "Peukert.sigma: reference current must be positive"
+
+let sigma ?(exponent = 1.2) ?(reference_current = 100.0) p ~at =
+  check_params exponent reference_current;
   if at < 0.0 then invalid_arg "Peukert.sigma: negative time";
   let k = reference_current ** (1.0 -. exponent) in
   let clipped = Profile.truncate p ~at in
@@ -13,6 +16,18 @@ let sigma ?(exponent = 1.2) ?(reference_current = 100.0) p ~at =
   in
   Kahan.sum_list (List.map contribution (Profile.intervals clipped))
 
-let model ?exponent ?reference_current () =
+(* Same per-interval formula as [sigma]'s contribution: rate-dependence
+   only, no memory of the rest of the schedule, so tail is ignored. *)
+let incremental ~exponent ~reference_current =
+  let k = reference_current ** (1.0 -. exponent) in
+  { Model.term =
+      (fun ~current ~duration ~tail:_ ->
+        if current = 0.0 then 0.0
+        else k *. (current ** exponent) *. duration);
+    tail_sensitive = false }
+
+let model ?(exponent = 1.2) ?(reference_current = 100.0) () =
+  check_params exponent reference_current;
   { Model.name = "peukert";
-    sigma = (fun p ~at -> sigma ?exponent ?reference_current p ~at) }
+    sigma = (fun p ~at -> sigma ~exponent ~reference_current p ~at);
+    incremental = Some (incremental ~exponent ~reference_current) }

@@ -21,27 +21,32 @@ let sigma_reference ?(terms = Series.default_terms) ?(beta = default_beta) p
 (* Fast path: the truncation is evaluated lazily during the interval
    fold (no profile copy), the kernel comes from the memoized
    [Series.exp_sum_cached] tails, and whole per-interval contributions
-   are memoized on [(beta, terms, start, duration, current, at)] —
-   candidate schedules sharing a committed prefix/suffix with an
-   already-costed one pay only for the intervals that moved.  The memo
-   is a domain-local [Fcache]: the six-float key is hashed on its raw
-   words (no tuple allocation, no polymorphic hashing per lookup) and
-   entries expire half a table at a time instead of the former
-   wholesale [Hashtbl.reset]. *)
+   are memoized in {e suffix-time coordinates}: the RV contribution of
+   an interval depends only on its current [I], its duration [D] and the
+   time [tail] between its end and the observation instant — not on
+   where in absolute time it sits.  Keying the memo on
+   [(beta, terms, I, D, tail)] instead of the former
+   [(start, duration, current, at)] therefore lets candidate schedules
+   of {e different total length} share entries: a local-search move that
+   shifts the makespan leaves every suffix-aligned interval's key — and
+   cached value — intact, where the old absolute-time key missed on all
+   of them.  The memo is a domain-local [Fcache]: the five-float key is
+   hashed on its raw words (no tuple allocation, no polymorphic hashing
+   per lookup) and entries expire half a table at a time. *)
 let contribution_cache : Fcache.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Fcache.create ~arity:6 ())
+  Domain.DLS.new_key (fun () -> Fcache.create ~label:"rv-contrib" ~arity:5 ())
 
-let contribution ~terms ~beta ~start ~duration ~current ~at =
+let contribution ~terms ~beta ~current ~duration ~tail =
   let tbl = Domain.DLS.get contribution_cache in
   let terms_f = float_of_int terms in
   let probe = Probe.local () in
-  let v = Fcache.find6 tbl beta terms_f start duration current at in
+  let v = Fcache.find5 tbl beta terms_f current duration tail in
   if Float.is_nan v then begin
     probe.Probe.contrib_misses <- probe.Probe.contrib_misses + 1;
-    let a = Float.max 0.0 (at -. start -. duration) in
-    let b = at -. start in
-    let v = current *. (duration +. Series.kernel ~terms ~beta a b) in
-    Fcache.add6 tbl beta terms_f start duration current at ~value:v;
+    let v =
+      current *. (duration +. Series.kernel ~terms ~beta tail (tail +. duration))
+    in
+    Fcache.add5 tbl beta terms_f current duration tail ~value:v;
     v
   end
   else begin
@@ -56,10 +61,22 @@ let sigma ?(terms = Series.default_terms) ?(beta = default_beta) p ~at =
   Kahan.sum
     (Profile.fold_until p ~at ~init:Kahan.zero
        ~f:(fun acc ~start ~duration ~current ->
-         Kahan.add acc (contribution ~terms ~beta ~start ~duration ~current ~at)))
+         let tail = Float.max 0.0 (at -. start -. duration) in
+         Kahan.add acc (contribution ~terms ~beta ~current ~duration ~tail)))
 
-let model ?terms ?beta () =
-  { Model.name = "rakhmatov"; sigma = (fun p ~at -> sigma ?terms ?beta p ~at) }
+(* The suffix-time decomposition packaged for the delta evaluator: at
+   the makespan of a gapless profile, [tail] in the cache key above is
+   exactly the sum of durations after the interval. *)
+let incremental ~terms ~beta =
+  { Model.term =
+      (fun ~current ~duration ~tail ->
+        contribution ~terms ~beta ~current ~duration ~tail);
+    tail_sensitive = true }
+
+let model ?(terms = Series.default_terms) ?(beta = default_beta) () =
+  { Model.name = "rakhmatov";
+    sigma = (fun p ~at -> sigma ~terms ~beta p ~at);
+    incremental = Some (incremental ~terms ~beta) }
 
 let unavailable_charge ?terms ?beta p ~at =
   sigma ?terms ?beta p ~at -. Profile.total_charge (Profile.truncate p ~at)

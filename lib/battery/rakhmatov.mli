@@ -29,11 +29,26 @@ val sigma :
     This is the fast evaluator: truncation happens lazily during the
     interval fold (no profile copy), the kernel is served from the
     memoized [Series] tails, and whole per-interval contributions are
-    memoized on [(start, duration, current, at)] in a domain-local
-    table — re-costing a candidate schedule that shares intervals with
-    an earlier one only pays for what changed.  Agrees with
-    {!sigma_reference} to well under 1e-9.
+    memoized in suffix-time coordinates on
+    [(beta, terms, current, duration, tail)] — where
+    [tail = at - start - duration] is the time the interval has to
+    recover before the observation instant — in a domain-local table.
+    Because the key carries no absolute time, candidate schedules of
+    different total length share entries for every suffix-aligned
+    interval; re-costing a candidate only pays for intervals whose
+    distance from the end moved.  Agrees with {!sigma_reference} to
+    well under 1e-9 (relative).
     @raise Invalid_argument on negative [at]. *)
+
+val contribution :
+  terms:int -> beta:float -> current:float -> duration:float ->
+  tail:float -> float
+(** One interval's contribution to sigma in suffix-time coordinates:
+    [current * (duration + kernel tail (tail + duration))], memoized.
+    [tail >= 0] is the load duration between the interval's end and the
+    observation instant.  This is the term behind both {!sigma} and the
+    model's {!Model.incremental} interface; exposed so the delta
+    evaluator and the full path share one cache. *)
 
 val sigma_reference :
   ?terms:int -> ?beta:float -> Profile.t -> at:float -> float

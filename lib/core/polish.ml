@@ -15,9 +15,10 @@ let swap_at sequence k =
 let cost (cfg : Config.t) g sched =
   Schedule.battery_cost ~model:cfg.Config.model g sched
 
-let two_swap ?(max_rounds = 10) (cfg : Config.t) g sched =
-  if max_rounds < 1 then invalid_arg "Polish.two_swap: max_rounds < 1";
-  Batsched_obs.Sink.with_span cfg.Config.obs "polish" @@ fun () ->
+(* Reference mode: the original pass, kept verbatim as the equivalence
+   oracle — every candidate swap pays an O(n+e) topological check, a
+   schedule construction and a full sigma evaluation. *)
+let two_swap_reference ~max_rounds (cfg : Config.t) g sched =
   let n = Graph.num_tasks g in
   let best = ref sched in
   let best_cost = ref (cost cfg g sched) in
@@ -60,8 +61,54 @@ let two_swap ?(max_rounds = 10) (cfg : Config.t) g sched =
   done;
   !best
 
-let polish ?max_rounds (cfg : Config.t) g (result : Iterate.result) =
-  let sched = two_swap ?max_rounds cfg g result.Iterate.schedule in
+(* Delta mode: same first-improvement sweep on the incremental
+   evaluator — the precedence check is O(out-degree), a candidate swap
+   is O(1) model terms, and nothing is allocated until the final
+   schedule is materialized.  The window re-fit stays on the full path
+   (it costs whole assignments, not moves); its result re-seats the
+   evaluator. *)
+let two_swap_delta ~max_rounds (cfg : Config.t) g sched =
+  let n = Graph.num_tasks g in
+  let ev = Eval.make ~model:cfg.Config.model g sched in
+  let best_cost = ref (Eval.sigma ev) in
+  let continue = ref true in
+  let rounds = ref 0 in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    continue := false;
+    for k = 0 to n - 2 do
+      if Eval.swap_allowed ev k then begin
+        let c, _ = Eval.try_swap ev k in
+        if c < !best_cost -. 1e-9 then begin
+          Eval.commit ev;
+          best_cost := c;
+          continue := true
+        end
+        else Eval.discard ev
+      end
+    done;
+    if !continue then begin
+      let windows = Window.evaluate cfg g ~sequence:(Eval.sequence ev) in
+      let w = windows.Window.best in
+      if w.Window.sigma < !best_cost -. 1e-9 then begin
+        Eval.load ev
+          (Schedule.unsafe_make g ~sequence:(Eval.sequence ev)
+             ~assignment:w.Window.assignment);
+        best_cost := Eval.sigma ev
+      end
+    end
+  done;
+  Eval.to_schedule ev
+
+let two_swap ?(max_rounds = 10) ?(eval = `Delta) (cfg : Config.t) g sched =
+  if max_rounds < 1 then invalid_arg "Polish.two_swap: max_rounds < 1";
+  Batsched_obs.Sink.with_span cfg.Config.obs "polish" @@ fun () ->
+  match eval with
+  | `Delta -> two_swap_delta ~max_rounds cfg g sched
+  | `Reference -> two_swap_reference ~max_rounds cfg g sched
+
+let polish ?max_rounds ?eval (cfg : Config.t) g (result : Iterate.result) =
+  let sched = two_swap ?max_rounds ?eval cfg g result.Iterate.schedule in
   let sigma = cost cfg g sched in
   if sigma < result.Iterate.sigma then
     { result with

@@ -24,6 +24,7 @@
      of a pure function is still the correct value. *)
 
 type t = {
+  label : string;
   arity : int;
   mask : int;               (* capacity - 1; capacity is a power of two *)
   keys : float array;       (* capacity * arity *)
@@ -40,7 +41,15 @@ let max_probe = 8
 
 let default_capacity = 1 lsl 16
 
-let create ?(capacity = default_capacity) ~arity () =
+(* Registry of every live table, for the occupancy lines of the --stats
+   report.  Domain-local caches register one instance per domain that
+   touched them (the report aggregates by label).  Registration happens
+   once per table at [create] — never on the lookup path. *)
+let registry_mutex = Mutex.create ()
+
+let registry : t list ref = ref []
+
+let create ?(label = "anon") ?(capacity = default_capacity) ~arity () =
   if arity < 1 || arity > 8 then invalid_arg "Fcache.create: arity not in 1..8";
   if capacity < 1 then invalid_arg "Fcache.create: capacity < 1";
   let cap = ref 1 in
@@ -48,16 +57,23 @@ let create ?(capacity = default_capacity) ~arity () =
     cap := !cap * 2
   done;
   let cap = !cap in
-  { arity;
-    mask = cap - 1;
-    keys = Array.make (cap * arity) 0.0;
-    values = Array.make cap 0.0;
-    stamps = Bytes.make cap '\000';
-    scratch = Array.make arity 0.0;
-    current = 1;
-    previous = 0;
-    fresh = 0;
-    flips = 0 }
+  let t =
+    { label;
+      arity;
+      mask = cap - 1;
+      keys = Array.make (cap * arity) 0.0;
+      values = Array.make cap 0.0;
+      stamps = Bytes.make cap '\000';
+      scratch = Array.make arity 0.0;
+      current = 1;
+      previous = 0;
+      fresh = 0;
+      flips = 0 }
+  in
+  Mutex.lock registry_mutex;
+  registry := t :: !registry;
+  Mutex.unlock registry_mutex;
+  t
 
 let capacity t = t.mask + 1
 
@@ -128,7 +144,11 @@ let advance_generation t =
   t.previous <- t.current;
   t.current <- (if t.current >= 255 then 1 else t.current + 1);
   t.fresh <- 0;
-  t.flips <- t.flips + 1
+  t.flips <- t.flips + 1;
+  (* one flip expires half a table in place — the eviction event the
+     occupancy/hit-rate analysis wants to see counted *)
+  let probe = Probe.local () in
+  probe.Probe.fcache_evictions <- probe.Probe.fcache_evictions + 1
 
 let store t slot value =
   let base = slot * t.arity in
@@ -184,6 +204,26 @@ let add3 t k0 k1 k2 ~value =
   s.(2) <- k2;
   add_scratch t value
 
+let find5 t k0 k1 k2 k3 k4 =
+  check_arity t 5 "find5";
+  let s = t.scratch in
+  s.(0) <- k0;
+  s.(1) <- k1;
+  s.(2) <- k2;
+  s.(3) <- k3;
+  s.(4) <- k4;
+  find_scratch t
+
+let add5 t k0 k1 k2 k3 k4 ~value =
+  check_arity t 5 "add5";
+  let s = t.scratch in
+  s.(0) <- k0;
+  s.(1) <- k1;
+  s.(2) <- k2;
+  s.(3) <- k3;
+  s.(4) <- k4;
+  add_scratch t value
+
 let find6 t k0 k1 k2 k3 k4 k5 =
   check_arity t 6 "find6";
   let s = t.scratch in
@@ -213,3 +253,26 @@ let live_count t =
     if stamp <> 0 && live t stamp then incr n
   done;
   !n
+
+let label t = t.label
+
+(* Aggregate (live, capacity, flips) per label across every registered
+   instance — one row per distinct cache, merging the per-domain copies
+   of a domain-local table.  O(total capacity); report path only. *)
+let occupancy () =
+  Mutex.lock registry_mutex;
+  let tables = !registry in
+  Mutex.unlock registry_mutex;
+  let rows = ref [] in
+  List.iter
+    (fun t ->
+      let live = live_count t and cap = capacity t in
+      match List.assoc_opt t.label !rows with
+      | Some (l, c, f) ->
+          rows :=
+            (t.label, (l + live, c + cap, f + t.flips))
+            :: List.remove_assoc t.label !rows
+      | None -> rows := (t.label, (live, cap, t.flips)) :: !rows)
+    tables;
+  List.sort compare
+    (List.map (fun (name, (l, c, f)) -> (name, l, c, f)) !rows)

@@ -33,12 +33,14 @@
 
 type t
 
-val create : ?capacity:int -> arity:int -> unit -> t
+val create : ?label:string -> ?capacity:int -> arity:int -> unit -> t
 (** [create ~arity ()] is an empty table whose keys are [arity] floats
     ([1 <= arity <= 8]).  [capacity] (default [65536]) is rounded up to
     a power of two and is the total slot count; the live working set is
     bounded by it and generations turn over every [capacity / 2]
-    insertions.
+    insertions.  [label] (default ["anon"]) names the table in the
+    {!occupancy} report; per-domain instances of a domain-local cache
+    share a label and are aggregated.
     @raise Invalid_argument on a non-positive capacity or an arity
     outside [1..8]. *)
 
@@ -56,6 +58,13 @@ val find3 : t -> float -> float -> float -> float
 
 val add3 : t -> float -> float -> float -> value:float -> unit
 (** Insert or overwrite.  @raise Invalid_argument on arity mismatch. *)
+
+val find5 : t -> float -> float -> float -> float -> float -> float
+(** As {!find3} for 5-float keys. *)
+
+val add5 :
+  t -> float -> float -> float -> float -> float -> value:float -> unit
+(** As {!add3} for 5-float keys. *)
 
 val find6 : t -> float -> float -> float -> float -> float -> float -> float
 (** As {!find3} for 6-float keys. *)
@@ -75,3 +84,14 @@ val live_count : t -> int
 val generation : t -> int
 (** The current generation stamp (starts at 1, advances every
     [capacity / 2] insertions).  Test/introspection helper. *)
+
+val label : t -> string
+(** The name the table registered under. *)
+
+val occupancy : unit -> (string * int * int * int) list
+(** One [(label, live, capacity, flips)] row per distinct cache label,
+    aggregated over every table instance created so far (per-domain
+    copies of a domain-local cache merge into one row).  O(total
+    capacity); report/introspection path, not for hot loops.  Flips
+    count generation advances — each one expired half a table in
+    place. *)

@@ -10,6 +10,14 @@ type t = {
   mutable iterations : int;
   mutable anneal_accepted : int;
   mutable anneal_rejected : int;
+  mutable anneal_noops : int;
+  mutable delta_swaps : int;
+  mutable delta_repoints : int;
+  mutable delta_commits : int;
+  mutable delta_discards : int;
+  mutable delta_terms : int;
+  mutable delta_full_evals : int;
+  mutable fcache_evictions : int;
   mutable pool_regions : int;
   mutable pool_tasks : int;
 }
@@ -26,6 +34,14 @@ let zero () =
     iterations = 0;
     anneal_accepted = 0;
     anneal_rejected = 0;
+    anneal_noops = 0;
+    delta_swaps = 0;
+    delta_repoints = 0;
+    delta_commits = 0;
+    delta_discards = 0;
+    delta_terms = 0;
+    delta_full_evals = 0;
+    fcache_evictions = 0;
     pool_regions = 0;
     pool_tasks = 0 }
 
@@ -41,6 +57,14 @@ let add ~into c =
   into.iterations <- into.iterations + c.iterations;
   into.anneal_accepted <- into.anneal_accepted + c.anneal_accepted;
   into.anneal_rejected <- into.anneal_rejected + c.anneal_rejected;
+  into.anneal_noops <- into.anneal_noops + c.anneal_noops;
+  into.delta_swaps <- into.delta_swaps + c.delta_swaps;
+  into.delta_repoints <- into.delta_repoints + c.delta_repoints;
+  into.delta_commits <- into.delta_commits + c.delta_commits;
+  into.delta_discards <- into.delta_discards + c.delta_discards;
+  into.delta_terms <- into.delta_terms + c.delta_terms;
+  into.delta_full_evals <- into.delta_full_evals + c.delta_full_evals;
+  into.fcache_evictions <- into.fcache_evictions + c.fcache_evictions;
   into.pool_regions <- into.pool_regions + c.pool_regions;
   into.pool_tasks <- into.pool_tasks + c.pool_tasks
 
@@ -56,6 +80,14 @@ let clear c =
   c.iterations <- 0;
   c.anneal_accepted <- 0;
   c.anneal_rejected <- 0;
+  c.anneal_noops <- 0;
+  c.delta_swaps <- 0;
+  c.delta_repoints <- 0;
+  c.delta_commits <- 0;
+  c.delta_discards <- 0;
+  c.delta_terms <- 0;
+  c.delta_full_evals <- 0;
+  c.fcache_evictions <- 0;
   c.pool_regions <- 0;
   c.pool_tasks <- 0
 
@@ -71,6 +103,14 @@ let fields =
     ("iterations", fun c -> c.iterations);
     ("anneal_accepted", fun c -> c.anneal_accepted);
     ("anneal_rejected", fun c -> c.anneal_rejected);
+    ("anneal_noops", fun c -> c.anneal_noops);
+    ("delta_swaps", fun c -> c.delta_swaps);
+    ("delta_repoints", fun c -> c.delta_repoints);
+    ("delta_commits", fun c -> c.delta_commits);
+    ("delta_discards", fun c -> c.delta_discards);
+    ("delta_terms", fun c -> c.delta_terms);
+    ("delta_full_evals", fun c -> c.delta_full_evals);
+    ("fcache_evictions", fun c -> c.fcache_evictions);
     ("pool_regions", fun c -> c.pool_regions);
     ("pool_tasks", fun c -> c.pool_tasks) ]
 

@@ -35,6 +35,14 @@ type t = {
   mutable iterations : int;       (** outer iterations of the main loop *)
   mutable anneal_accepted : int;  (** annealing moves accepted *)
   mutable anneal_rejected : int;  (** annealing moves rejected *)
+  mutable anneal_noops : int;     (** no-op repoints skipped without evaluation *)
+  mutable delta_swaps : int;      (** delta-evaluator swap candidates costed *)
+  mutable delta_repoints : int;   (** delta-evaluator repoint candidates costed *)
+  mutable delta_commits : int;    (** delta-evaluator moves committed *)
+  mutable delta_discards : int;   (** delta-evaluator moves discarded *)
+  mutable delta_terms : int;      (** per-position contribution terms recomputed *)
+  mutable delta_full_evals : int; (** delta fallbacks to a full model evaluation *)
+  mutable fcache_evictions : int; (** Fcache generation flips (half-table expiries) *)
   mutable pool_regions : int;     (** parallel regions actually fanned out *)
   mutable pool_tasks : int;       (** items mapped through [Pool.map_array] *)
 }

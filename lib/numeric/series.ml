@@ -51,7 +51,7 @@ let kernel_direct ?(terms = default_terms) ~beta a b =
    a table at a time instead of the former [Hashtbl.reset] cliff.  The
    table is domain-local (no locking, safe under [Pool] fan-out). *)
 let cache : Fcache.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Fcache.create ~arity:3 ())
+  Domain.DLS.new_key (fun () -> Fcache.create ~label:"series-f" ~arity:3 ())
 
 let exp_sum_cached ?(terms = default_terms) ~beta t =
   check_beta beta;

@@ -30,7 +30,12 @@ let add_counters buf (c : Probe.t) =
         Printf.bprintf buf "  %-16s %11.1f%%  (%d lookups)\n" label p total
   in
   derived "fmemo hit rate" (pct c.Probe.fmemo_hits c.Probe.fmemo_misses);
-  derived "contrib hit rate" (pct c.Probe.contrib_hits c.Probe.contrib_misses)
+  derived "contrib hit rate" (pct c.Probe.contrib_hits c.Probe.contrib_misses);
+  List.iter
+    (fun (label, live, capacity, flips) ->
+      Printf.bprintf buf "  fcache %-16s %6d/%d slots, %d evictions\n" label
+        live capacity flips)
+    (Fcache.occupancy ())
 
 let add_phases buf spans =
   match by_phase spans with

@@ -8,6 +8,11 @@ let make g ~sequence ~assignment =
     invalid_arg "Schedule.make: sequence is not a topological order";
   { sequence; assignment }
 
+let unsafe_make g ~sequence ~assignment =
+  if List.length sequence <> Graph.num_tasks g then
+    invalid_arg "Schedule.unsafe_make: sequence length mismatch";
+  { sequence; assignment }
+
 let to_profile g t =
   let seq = Array.of_list t.sequence in
   Profile.sequential_fn ~n:(Array.length seq) (fun k ->

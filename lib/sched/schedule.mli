@@ -16,6 +16,15 @@ val make : Graph.t -> sequence:int list -> assignment:Assignment.t -> t
 (** @raise Invalid_argument if [sequence] is not a topological order of
     the graph. *)
 
+val unsafe_make : Graph.t -> sequence:int list -> assignment:Assignment.t -> t
+(** [make] without the O(n+e) topological re-validation — only the
+    sequence length is checked.  For hot paths (the delta-evaluating
+    search loops) that construct sequences known-valid by construction:
+    permutations reached from a validated order through precedence-
+    checked adjacent swaps.  The caller owns that invariant; entry
+    points parsing external input must keep using {!make}.
+    @raise Invalid_argument if [sequence] has the wrong length. *)
+
 val to_profile : Graph.t -> t -> Profile.t
 (** Back-to-back discharge profile starting at time 0. *)
 

@@ -92,6 +92,14 @@ cut off after the counters):
     iterations                  2
     anneal_accepted             0
     anneal_rejected             0
+    anneal_noops                0
+    delta_swaps                 0
+    delta_repoints              0
+    delta_commits               0
+    delta_discards              0
+    delta_terms                 0
+    delta_full_evals            0
+    fcache_evictions            0
     pool_regions                0
     pool_tasks                  4
     fmemo hit rate          41.7%  (12 lookups)

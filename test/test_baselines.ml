@@ -176,6 +176,85 @@ let test_annealing_infeasible_raises () =
         (Annealing.run ~rng:(Batsched_numeric.Rng.create 1) ~model g
            ~deadline:5.0))
 
+(* --- Annealing / random search: delta vs reference evaluation ---
+
+   Both modes share the move-draw control flow, so a fixed seed drives
+   the identical walk; the solutions must agree exactly (both are
+   re-materialized through the full model, so equal schedules give
+   bit-equal sigmas). *)
+
+module Probe = Batsched_numeric.Probe
+
+let solutions_agree name (a : Solution.t) (b : Solution.t) =
+  Alcotest.(check (list int))
+    (name ^ ": sequence")
+    a.Solution.schedule.Schedule.sequence
+    b.Solution.schedule.Schedule.sequence;
+  Alcotest.(check (list int))
+    (name ^ ": assignment")
+    (Assignment.to_list a.Solution.schedule.Schedule.assignment)
+    (Assignment.to_list b.Solution.schedule.Schedule.assignment);
+  check_float (name ^ ": sigma") a.Solution.sigma b.Solution.sigma
+
+let test_annealing_delta_matches_reference () =
+  let check name g ~deadline seed =
+    let run eval =
+      Annealing.run ~eval
+        ~rng:(Batsched_numeric.Rng.create seed)
+        ~model g ~deadline
+    in
+    solutions_agree
+      (Printf.sprintf "%s seed %d" name seed)
+      (run `Delta) (run `Reference)
+  in
+  let g = diamond () in
+  List.iter (fun seed -> check "diamond" g ~deadline:20.0 seed) [ 7; 99; 2024 ];
+  check "g2" Instances.g2 ~deadline:(List.hd Instances.g2_deadlines) 5;
+  let rng = Batsched_numeric.Rng.create 31 in
+  let fj =
+    Generators.fork_join ~rng ~spec:Generators.default_spec ~widths:[ 4; 3 ]
+  in
+  check "fork-join" fj ~deadline:(Generators.feasible_deadline fj ~slack:0.5) 13
+
+let test_annealing_noop_skip () =
+  (* a single design point per task makes every repoint draw a no-op:
+     the walk must still replay (delta = reference under the same
+     seed) and the skipped evaluations must show up in the probe *)
+  let t id pairs =
+    Task.of_pairs ~id ~name:(Printf.sprintf "T%d" (id + 1)) pairs
+  in
+  let g =
+    Graph.make ~label:"mono" ~edges:[ (0, 1) ]
+      [ t 0 [ (400.0, 1.0) ];
+        t 1 [ (600.0, 2.0) ];
+        t 2 [ (500.0, 1.5) ] ]
+  in
+  let c0 = (Probe.totals ()).Probe.anneal_noops in
+  let run eval =
+    Annealing.run ~eval
+      ~rng:(Batsched_numeric.Rng.create 7)
+      ~model g ~deadline:10.0
+  in
+  solutions_agree "mono" (run `Delta) (run `Reference);
+  Alcotest.(check bool) "noop repoints skipped and counted" true
+    ((Probe.totals ()).Probe.anneal_noops - c0 > 0)
+
+let test_random_search_delta_matches_reference () =
+  let g = diamond () in
+  let run eval =
+    Random_search.run ~samples:100 ~eval
+      ~rng:(Batsched_numeric.Rng.create 5)
+      ~model g ~deadline:20.0
+  in
+  solutions_agree "diamond" (run `Delta) (run `Reference);
+  let run2 eval =
+    Random_search.run ~samples:60 ~eval
+      ~rng:(Batsched_numeric.Rng.create 8)
+      ~model Instances.g2
+      ~deadline:(List.hd Instances.g2_deadlines)
+  in
+  solutions_agree "g2" (run2 `Delta) (run2 `Reference)
+
 (* --- Exhaustive --- *)
 
 let test_exhaustive_beats_or_ties_everything () =
@@ -361,7 +440,9 @@ let () =
         [ Alcotest.test_case "feasible, beats start" `Quick test_annealing_feasible_and_not_worse_than_start;
           Alcotest.test_case "deterministic" `Quick test_annealing_deterministic_given_seed;
           Alcotest.test_case "param validation" `Quick test_annealing_param_validation;
-          Alcotest.test_case "infeasible raises" `Quick test_annealing_infeasible_raises ] );
+          Alcotest.test_case "infeasible raises" `Quick test_annealing_infeasible_raises;
+          Alcotest.test_case "delta matches reference" `Quick test_annealing_delta_matches_reference;
+          Alcotest.test_case "noop repoints skipped" `Quick test_annealing_noop_skip ] );
       ( "exhaustive",
         [ Alcotest.test_case "lower bound" `Quick test_exhaustive_beats_or_ties_everything;
           Alcotest.test_case "too-large guard" `Quick test_exhaustive_too_large_guard;
@@ -375,5 +456,6 @@ let () =
       ( "random_search",
         [ Alcotest.test_case "feasible" `Quick test_random_search_feasible;
           Alcotest.test_case "more samples no worse" `Quick test_random_search_more_samples_no_worse;
+          Alcotest.test_case "delta matches reference" `Quick test_random_search_delta_matches_reference;
           Alcotest.test_case "random sequences topological" `Quick test_random_sequence_topological ] );
       ("properties", qcheck_tests) ]

@@ -595,9 +595,286 @@ let test_profile_sequential_fn_matches_sequential () =
   check_float "length" (Profile.length a) (Profile.length b);
   check_float "charge" (Profile.total_charge a) (Profile.total_charge b)
 
+(* --- Delta: incremental sigma evaluation --- *)
+
+module Probe = Batsched_numeric.Probe
+
+(* Delta agrees with the full path within 1e-9 relative, not absolute:
+   the two accumulate the recovery times in opposite directions (see
+   delta.mli), same convention as the fast-vs-reference sigma tests
+   above. *)
+let check_rel name want got =
+  let ok = Float.abs (got -. want) <= 1e-9 *. (1.0 +. Float.abs want) in
+  if not ok then
+    Alcotest.failf "%s: got %.17g, want %.17g (rel %.3g)" name got want
+      (Float.abs (got -. want) /. (1.0 +. Float.abs want))
+
+let rv = Rakhmatov.model ()
+
+let full_eval model points =
+  let p = Profile.sequential points in
+  (Model.sigma_end model p, Profile.length p)
+
+let delta_of model points =
+  let arr = Array.of_list points in
+  Delta.init model ~n:(Array.length arr) ~point:(fun i -> arr.(i))
+
+let check_against_full model d points =
+  let sigma, finish = full_eval model points in
+  check_rel "sigma" sigma (Delta.sigma d);
+  check_rel "finish" finish (Delta.finish d)
+
+let base_points =
+  [ (400.0, 2.0); (150.0, 4.0); (800.0, 1.0); (250.0, 3.0); (90.0, 6.0) ]
+
+let swap_list l k =
+  List.mapi
+    (fun i x ->
+      if i = k then List.nth l (k + 1)
+      else if i = k + 1 then List.nth l k
+      else x)
+    l
+
+let set_list l k v = List.mapi (fun i x -> if i = k then v else x) l
+
+let test_delta_load_matches_full () =
+  List.iter
+    (fun model -> check_against_full model (delta_of model base_points) base_points)
+    [ rv; Ideal.model; Peukert.model (); Kibam.model () ]
+
+let test_delta_swap_matches_full () =
+  let d = delta_of rv base_points in
+  (* candidate = oracle of the swapped list; committed state unchanged
+     until commit *)
+  let want_sigma, want_finish = full_eval rv (swap_list base_points 1) in
+  let got_sigma, got_finish = Delta.try_swap d 1 in
+  check_rel "candidate sigma" want_sigma got_sigma;
+  check_rel "candidate finish" want_finish got_finish;
+  Delta.discard d;
+  check_against_full rv d base_points;
+  ignore (Delta.try_swap d 1);
+  Delta.commit d;
+  check_against_full rv d (swap_list base_points 1)
+
+let test_delta_swap_boundaries () =
+  let n = List.length base_points in
+  List.iter
+    (fun k ->
+      let d = delta_of rv base_points in
+      ignore (Delta.try_swap d k);
+      Delta.commit d;
+      check_against_full rv d (swap_list base_points k))
+    [ 0; n - 2 ]
+
+let test_delta_set_boundaries () =
+  let n = List.length base_points in
+  List.iter
+    (fun k ->
+      let d = delta_of rv base_points in
+      let v = (333.0, 2.5) in
+      let want_sigma, want_finish = full_eval rv (set_list base_points k v) in
+      let got_sigma, got_finish =
+        Delta.try_set d k ~current:(fst v) ~duration:(snd v)
+      in
+      check_rel "candidate sigma" want_sigma got_sigma;
+      check_rel "candidate finish" want_finish got_finish;
+      Delta.commit d;
+      check_against_full rv d (set_list base_points k v))
+    [ 0; n - 1 ]
+
+let test_delta_swap_after_set () =
+  let d = delta_of rv base_points in
+  let points = set_list base_points 3 (500.0, 0.5) in
+  ignore (Delta.try_set d 3 ~current:500.0 ~duration:0.5);
+  Delta.commit d;
+  let points' = swap_list points 2 in
+  ignore (Delta.try_swap d 2);
+  Delta.commit d;
+  check_against_full rv d points'
+
+let test_delta_zero_duration () =
+  (* zero-duration positions are kept with an exactly-zero term, so
+     sigma matches the profile path, which drops them *)
+  let points = [ (400.0, 2.0); (999.0, 0.0); (150.0, 4.0) ] in
+  let d = delta_of rv points in
+  check_against_full rv d points;
+  (* shrinking a position to zero duration and back *)
+  let d = delta_of rv base_points in
+  ignore (Delta.try_set d 2 ~current:800.0 ~duration:0.0);
+  Delta.commit d;
+  check_against_full rv d (set_list base_points 2 (800.0, 0.0));
+  ignore (Delta.try_set d 2 ~current:800.0 ~duration:1.0);
+  Delta.commit d;
+  check_against_full rv d base_points
+
+let test_delta_single_interval () =
+  let points = [ (500.0, 3.0) ] in
+  let d = delta_of rv points in
+  check_against_full rv d points;
+  Alcotest.check_raises "no swap on n=1"
+    (Invalid_argument "Delta.try_swap: position out of range") (fun () ->
+      ignore (Delta.try_swap d 0));
+  ignore (Delta.try_set d 0 ~current:200.0 ~duration:7.0);
+  Delta.commit d;
+  check_against_full rv d [ (200.0, 7.0) ]
+
+let test_delta_pending_protocol () =
+  let d = delta_of rv base_points in
+  Alcotest.check_raises "commit w/o move"
+    (Invalid_argument "Delta.commit: no pending move") (fun () ->
+      Delta.commit d);
+  Alcotest.check_raises "discard w/o move"
+    (Invalid_argument "Delta.discard: no pending move") (fun () ->
+      Delta.discard d);
+  ignore (Delta.try_swap d 0);
+  Alcotest.check_raises "second try while pending"
+    (Invalid_argument "Delta.try_set: uncommitted pending move") (fun () ->
+      ignore (Delta.try_set d 1 ~current:1.0 ~duration:1.0));
+  Delta.discard d
+
+let test_delta_of_profile_rejects_gaps () =
+  let gapped =
+    Profile.with_idle
+      (Profile.sequential [ (100.0, 2.0); (200.0, 3.0) ])
+      ~after:2.0 ~idle:1.0
+  in
+  Alcotest.check_raises "idle gaps"
+    (Invalid_argument "Delta.of_profile: profile has idle gaps") (fun () ->
+      ignore (Delta.of_profile rv gapped));
+  let ok = Profile.sequential base_points in
+  check_against_full rv (Delta.of_profile rv ok) base_points
+
+let test_delta_fallback_counts_full_evals () =
+  (* kibam has no incremental decomposition: every candidate costs a
+     full profile evaluation, and the probe records it *)
+  let model = Kibam.model () in
+  let c0 = (Probe.totals ()).Probe.delta_full_evals in
+  let d = delta_of model base_points in
+  ignore (Delta.try_swap d 1);
+  Delta.discard d;
+  check_against_full model d base_points;
+  ignore (Delta.try_set d 0 ~current:50.0 ~duration:2.0);
+  Delta.commit d;
+  check_against_full model d (set_list base_points 0 (50.0, 2.0));
+  let evals = (Probe.totals ()).Probe.delta_full_evals - c0 in
+  Alcotest.(check bool) "full evals counted" true (evals >= 3)
+
+let test_delta_swap_term_evals_constant () =
+  (* the headline O(1) claim: a swap costs at most 2 term evaluations
+     under the RV model, independent of n — and none at all for a
+     tail-insensitive model *)
+  let points = List.init 40 (fun i -> (100.0 +. float_of_int i, 1.0)) in
+  let d = delta_of rv points in
+  let c0 = (Probe.totals ()).Probe.delta_terms in
+  for k = 0 to 38 do
+    ignore (Delta.try_swap d k);
+    Delta.commit d
+  done;
+  let per_swap = (Probe.totals ()).Probe.delta_terms - c0 in
+  Alcotest.(check int) "2 terms per swap" (2 * 39) per_swap;
+  let d = delta_of Ideal.model points in
+  let c0 = (Probe.totals ()).Probe.delta_terms in
+  let s0 = Delta.sigma d in
+  ignore (Delta.try_swap d 10);
+  Delta.commit d;
+  Alcotest.(check int) "0 terms for ideal" c0
+    (Probe.totals ()).Probe.delta_terms;
+  check_float "ideal sigma invariant under swap" s0 (Delta.sigma d)
+
+let test_delta_suffix_cache_across_makespans () =
+  (* the suffix-time cache key: stretching the *first* interval leaves
+     every later interval's (I, D, tail) key intact, so re-costing the
+     stretched schedule misses only on the changed interval — the old
+     at-keyed cache missed on all of them.  A beta unique to this test
+     isolates it from entries cached by other tests. *)
+  let model = Rakhmatov.model ~beta:0.311 () in
+  let p1 = Profile.sequential base_points in
+  ignore (Model.sigma_end model p1);
+  let c0 = (Probe.totals ()).Probe.contrib_misses in
+  let p2 = Profile.sequential (set_list base_points 0 (400.0, 9.0)) in
+  ignore (Model.sigma_end model p2);
+  let misses = (Probe.totals ()).Probe.contrib_misses - c0 in
+  Alcotest.(check int) "one miss despite new makespan" 1 misses
+
+let test_delta_refresh_noop () =
+  let d = delta_of rv base_points in
+  for _ = 1 to 100 do
+    ignore (Delta.try_swap d 1);
+    Delta.commit d;
+    ignore (Delta.try_swap d 1);
+    Delta.commit d
+  done;
+  (* 200 commits crossed several automatic re-sum boundaries; a manual
+     refresh must not move the value either *)
+  let s = Delta.sigma d in
+  Delta.refresh d;
+  check_float "refresh stable" s (Delta.sigma d);
+  check_against_full rv d base_points
+
+let delta_tests =
+  [ Alcotest.test_case "load matches full (all models)" `Quick test_delta_load_matches_full;
+    Alcotest.test_case "swap matches full" `Quick test_delta_swap_matches_full;
+    Alcotest.test_case "swap at 0 and n-2" `Quick test_delta_swap_boundaries;
+    Alcotest.test_case "set at 0 and n-1" `Quick test_delta_set_boundaries;
+    Alcotest.test_case "swap after set" `Quick test_delta_swap_after_set;
+    Alcotest.test_case "zero-duration positions" `Quick test_delta_zero_duration;
+    Alcotest.test_case "single interval" `Quick test_delta_single_interval;
+    Alcotest.test_case "pending protocol" `Quick test_delta_pending_protocol;
+    Alcotest.test_case "of_profile rejects gaps" `Quick test_delta_of_profile_rejects_gaps;
+    Alcotest.test_case "fallback counts full evals" `Quick test_delta_fallback_counts_full_evals;
+    Alcotest.test_case "O(1) swap term evals" `Quick test_delta_swap_term_evals_constant;
+    Alcotest.test_case "suffix cache across makespans" `Quick test_delta_suffix_cache_across_makespans;
+    Alcotest.test_case "refresh after many commits" `Quick test_delta_refresh_noop ]
+
+(* Random interval lists driven through random move traces: committed
+   sigma/finish track the full evaluation of the mirrored list. *)
+let prop_delta_traces_match_full =
+  QCheck.Test.make ~count:200 ~name:"delta random move traces match full eval"
+    QCheck.(pair (int_bound 100_000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Batsched_numeric.Rng.create seed in
+      let point () =
+        let current = 10.0 +. Batsched_numeric.Rng.float rng 800.0 in
+        let duration =
+          (* one position in five is zero-duration *)
+          if Batsched_numeric.Rng.int rng 5 = 0 then 0.0
+          else 0.1 +. Batsched_numeric.Rng.float rng 8.0
+        in
+        (current, duration)
+      in
+      let points = ref (List.init n (fun _ -> point ())) in
+      let d = delta_of rv !points in
+      for _ = 1 to 40 do
+        let commit_it = Batsched_numeric.Rng.int rng 4 > 0 in
+        if n >= 2 && Batsched_numeric.Rng.bool rng then begin
+          let k = Batsched_numeric.Rng.int rng (n - 1) in
+          ignore (Delta.try_swap d k);
+          if commit_it then begin
+            Delta.commit d;
+            points := swap_list !points k
+          end
+          else Delta.discard d
+        end
+        else begin
+          let k = Batsched_numeric.Rng.int rng n in
+          let v = point () in
+          ignore (Delta.try_set d k ~current:(fst v) ~duration:(snd v));
+          if commit_it then begin
+            Delta.commit d;
+            points := set_list !points k v
+          end
+          else Delta.discard d
+        end
+      done;
+      let sigma, finish = full_eval rv !points in
+      Float.abs (Delta.sigma d -. sigma) <= 1e-9 *. (1.0 +. Float.abs sigma)
+      && Float.abs (Delta.finish d -. finish)
+         <= 1e-9 *. (1.0 +. Float.abs finish))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_sigma_monotone_in_time;
+    [ prop_delta_traces_match_full;
+      prop_sigma_monotone_in_time;
       prop_sigma_at_least_ideal_at_end;
       prop_decreasing_order_never_worse;
       prop_idle_never_hurts;
@@ -653,6 +930,7 @@ let () =
           Alcotest.test_case "delivers less at high rate" `Quick test_kibam_delivers_less_at_high_rate;
           Alcotest.test_case "param validation" `Quick test_kibam_param_validation;
           Alcotest.test_case "step validation" `Quick test_kibam_step_validation ] );
+      ("delta", delta_tests);
       ( "lifetime",
         [ Alcotest.test_case "survives light load" `Quick test_lifetime_survives_light_load;
           Alcotest.test_case "dies under heavy load" `Quick test_lifetime_dies_under_heavy_load;

@@ -418,6 +418,28 @@ let test_polish_validation () =
     (fun () ->
       ignore (Batsched.Polish.two_swap ~max_rounds:0 cfg g r.Batsched.Iterate.schedule))
 
+(* Delta vs reference evaluation, at pool 1 and pool 4: same schedule
+   out (the 1e-9 improvement margin absorbs the paths' round-off
+   difference), same sigma from the full model. *)
+let test_polish_delta_matches_reference () =
+  List.iter
+    (fun pool ->
+      List.iter
+        (fun (g, deadline) ->
+          let cfg = Batsched.Config.make ?pool ~deadline () in
+          let r = Batsched.Iterate.run cfg g in
+          let run eval = Batsched.Polish.polish ~eval cfg g r in
+          let a = run `Delta and b = run `Reference in
+          Alcotest.(check (list int)) "sequence"
+            b.Batsched.Iterate.schedule.Schedule.sequence
+            a.Batsched.Iterate.schedule.Schedule.sequence;
+          Alcotest.(check (list int)) "assignment"
+            (Assignment.to_list b.Batsched.Iterate.schedule.Schedule.assignment)
+            (Assignment.to_list a.Batsched.Iterate.schedule.Schedule.assignment);
+          check_float "sigma" b.Batsched.Iterate.sigma a.Batsched.Iterate.sigma)
+        [ (Instances.g2, 75.0); (Instances.g3, 230.0); (diamond (), 20.0) ])
+    [ None; Some (Batsched_numeric.Pool.create 4) ]
+
 (* --- multistart --- *)
 
 let test_multistart_never_worse_than_single () =
@@ -795,7 +817,8 @@ let () =
       ( "polish",
         [ Alcotest.test_case "never worse" `Quick test_polish_never_worse;
           Alcotest.test_case "improves bad order" `Quick test_polish_improves_bad_order;
-          Alcotest.test_case "validation" `Quick test_polish_validation ] );
+          Alcotest.test_case "validation" `Quick test_polish_validation;
+          Alcotest.test_case "delta matches reference" `Quick test_polish_delta_matches_reference ] );
       ( "multistart",
         [ Alcotest.test_case "never worse" `Quick test_multistart_never_worse_than_single;
           Alcotest.test_case "one start equals run" `Quick test_multistart_one_start_equals_run;

@@ -382,6 +382,134 @@ let test_continuous_single_task () =
   check_close 1e-6 "scaling" 0.25 sol.Continuous.scalings.(0);
   check_close 1e-6 "charge" (800.0 *. 2.0 *. 0.0625) sol.Continuous.charge
 
+(* --- Schedule.unsafe_make and Eval --- *)
+
+let check_rel name want got =
+  let ok = Float.abs (got -. want) <= 1e-9 *. (1.0 +. Float.abs want) in
+  if not ok then
+    Alcotest.failf "%s: got %.17g, want %.17g" name got want
+
+let check_eval_against_oracle g ev =
+  let sched = Eval.to_schedule ev in
+  check_rel "sigma"
+    (Schedule.battery_cost ~model g sched)
+    (Eval.sigma ev);
+  check_rel "finish" (Schedule.finish_time g sched) (Eval.finish ev)
+
+let test_unsafe_make () =
+  let g = diamond () in
+  let assignment = Assignment.all_fastest g in
+  (* same result as the checked constructor on a valid order *)
+  let s = Schedule.unsafe_make g ~sequence:[ 0; 2; 1; 3 ] ~assignment in
+  Alcotest.(check (list int)) "sequence kept" [ 0; 2; 1; 3 ] s.Schedule.sequence;
+  (* the contract: only the length is validated — a non-topological
+     order is the caller's bug, not detected here *)
+  ignore (Schedule.unsafe_make g ~sequence:[ 3; 0; 1; 2 ] ~assignment);
+  Alcotest.check_raises "length still checked"
+    (Invalid_argument "Schedule.unsafe_make: sequence length mismatch")
+    (fun () -> ignore (Schedule.unsafe_make g ~sequence:[ 0; 1 ] ~assignment))
+
+let test_eval_matches_oracle_at_load () =
+  let g = diamond () in
+  let sched =
+    Schedule.make g ~sequence:[ 0; 1; 2; 3 ]
+      ~assignment:(Assignment.of_list g [ 1; 0; 2; 1 ])
+  in
+  let ev = Eval.make ~model g sched in
+  check_rel "sigma" (Schedule.battery_cost ~model g sched) (Eval.sigma ev);
+  check_rel "finish" (Schedule.finish_time g sched) (Eval.finish ev);
+  Alcotest.(check (list int)) "sequence" [ 0; 1; 2; 3 ] (Eval.sequence ev);
+  Alcotest.(check int) "column" 2 (Eval.column ev 2);
+  Alcotest.(check int) "task_at" 1 (Eval.task_at ev 1);
+  Alcotest.(check int) "position" 3 (Eval.position ev 3)
+
+let test_eval_swap_allowed () =
+  let g = diamond () in
+  let sched =
+    Schedule.make g ~sequence:[ 0; 1; 2; 3 ]
+      ~assignment:(Assignment.all_fastest g)
+  in
+  let ev = Eval.make ~model g sched in
+  (* 0 -> 1 is an edge; 1 and 2 are incomparable; 2 -> 3 is an edge *)
+  Alcotest.(check bool) "edge blocks" false (Eval.swap_allowed ev 0);
+  Alcotest.(check bool) "incomparable swaps" true (Eval.swap_allowed ev 1);
+  Alcotest.(check bool) "edge blocks tail" false (Eval.swap_allowed ev 2);
+  Alcotest.check_raises "forbidden swap raises"
+    (Invalid_argument "Eval.try_swap: swap violates a precedence edge")
+    (fun () -> ignore (Eval.try_swap ev 0))
+
+let test_eval_moves_match_oracle () =
+  let g = diamond () in
+  let sched =
+    Schedule.make g ~sequence:[ 0; 1; 2; 3 ]
+      ~assignment:(Assignment.of_list g [ 0; 1; 0; 2 ])
+  in
+  let ev = Eval.make ~model g sched in
+  (* swap candidate = oracle of the swapped schedule *)
+  let swapped =
+    Schedule.make g ~sequence:[ 0; 2; 1; 3 ]
+      ~assignment:(Assignment.of_list g [ 0; 1; 0; 2 ])
+  in
+  let got_sigma, got_finish = Eval.try_swap ev 1 in
+  check_rel "swap sigma" (Schedule.battery_cost ~model g swapped) got_sigma;
+  check_rel "swap finish" (Schedule.finish_time g swapped) got_finish;
+  Eval.discard ev;
+  check_eval_against_oracle g ev;
+  (* repoint candidate likewise; the finish moves with the duration *)
+  let repointed =
+    Schedule.make g ~sequence:[ 0; 1; 2; 3 ]
+      ~assignment:(Assignment.of_list g [ 0; 2; 0; 2 ])
+  in
+  let got_sigma, got_finish = Eval.try_repoint ev ~task:1 ~col:2 in
+  check_rel "repoint sigma"
+    (Schedule.battery_cost ~model g repointed)
+    got_sigma;
+  check_rel "repoint finish" (Schedule.finish_time g repointed) got_finish;
+  Eval.commit ev;
+  Alcotest.(check int) "column updated" 2 (Eval.column ev 1);
+  check_eval_against_oracle g ev;
+  (* and a swap after the repoint, committed *)
+  ignore (Eval.try_swap ev 1);
+  Eval.commit ev;
+  Alcotest.(check (list int)) "sequence updated" [ 0; 2; 1; 3 ]
+    (Eval.sequence ev);
+  check_eval_against_oracle g ev
+
+let test_eval_pending_protocol () =
+  let g = diamond () in
+  let sched =
+    Schedule.make g ~sequence:[ 0; 1; 2; 3 ]
+      ~assignment:(Assignment.all_fastest g)
+  in
+  let ev = Eval.make ~model g sched in
+  ignore (Eval.try_swap ev 1);
+  Alcotest.check_raises "try while pending"
+    (Invalid_argument "Eval.try_repoint: uncommitted pending move")
+    (fun () -> ignore (Eval.try_repoint ev ~task:0 ~col:1));
+  Alcotest.check_raises "to_schedule while pending"
+    (Invalid_argument "Eval.to_schedule: uncommitted pending move")
+    (fun () -> ignore (Eval.to_schedule ev));
+  Eval.commit ev;
+  Alcotest.check_raises "commit w/o move"
+    (Invalid_argument "Eval.commit: no pending move") (fun () ->
+      Eval.commit ev)
+
+let test_eval_load_reuses_evaluator () =
+  let g = diamond () in
+  let a = Assignment.all_fastest g in
+  let s1 = Schedule.make g ~sequence:[ 0; 1; 2; 3 ] ~assignment:a in
+  let s2 =
+    Schedule.make g ~sequence:[ 0; 2; 1; 3 ]
+      ~assignment:(Assignment.all_lowest_power g)
+  in
+  let ev = Eval.make ~model g s1 in
+  ignore (Eval.try_swap ev 1);
+  (* load drops the pending move and re-seats *)
+  Eval.load ev s2;
+  check_rel "sigma after load" (Schedule.battery_cost ~model g s2)
+    (Eval.sigma ev);
+  check_eval_against_oracle g ev
+
 (* --- qcheck properties --- *)
 
 let gen_graph =
@@ -447,12 +575,58 @@ let prop_priorities_always_topological =
       && Analysis.is_topological g (Priorities.weighted_sequence g a)
       && Analysis.is_topological g (Priorities.greedy_mean_current g a))
 
+(* Random DAGs driven through random precedence-respecting move traces:
+   the incremental evaluator's committed sigma/finish track the full
+   [Schedule] path throughout, and its sequence stays topological (the
+   invariant that makes [unsafe_make] sound). *)
+let prop_eval_traces_match_oracle =
+  QCheck.Test.make ~count:500 ~name:"eval random DAG move traces match oracle"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Batsched_numeric.Rng.create seed in
+      let spec = { Generators.default_spec with Generators.num_points = 4 } in
+      let g =
+        if Batsched_numeric.Rng.bool rng then
+          Generators.fork_join ~rng ~spec ~widths:[ 2; 3 ]
+        else
+          Generators.random_dag ~rng ~spec
+            ~n:(1 + Batsched_numeric.Rng.int rng 12)
+            ~edge_prob:0.3
+      in
+      let n = Graph.num_tasks g and m = Graph.num_points g in
+      let sequence = Analysis.any_topological_order g in
+      let assignment = gen_assignment g (Batsched_numeric.Rng.int rng 1000) in
+      let ev = Eval.make ~model g (Schedule.make g ~sequence ~assignment) in
+      for _ = 1 to 30 do
+        let commit_it = Batsched_numeric.Rng.int rng 4 > 0 in
+        if n >= 2 && Batsched_numeric.Rng.bool rng then begin
+          let k = Batsched_numeric.Rng.int rng (n - 1) in
+          if Eval.swap_allowed ev k then begin
+            ignore (Eval.try_swap ev k);
+            if commit_it then Eval.commit ev else Eval.discard ev
+          end
+        end
+        else begin
+          let i = Batsched_numeric.Rng.int rng n in
+          let j = Batsched_numeric.Rng.int rng m in
+          ignore (Eval.try_repoint ev ~task:i ~col:j);
+          if commit_it then Eval.commit ev else Eval.discard ev
+        end
+      done;
+      let sched = Eval.to_schedule ev in
+      Analysis.is_topological g sched.Schedule.sequence
+      && Float.abs (Eval.sigma ev -. Schedule.battery_cost ~model g sched)
+         <= 1e-9 *. (1.0 +. Float.abs (Eval.sigma ev))
+      && Float.abs (Eval.finish ev -. Schedule.finish_time g sched)
+         <= 1e-9 *. (1.0 +. Float.abs (Eval.finish ev)))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_metrics_in_unit_interval;
       prop_dpf_in_unit_interval;
       prop_schedule_profile_charge_consistent;
-      prop_priorities_always_topological ]
+      prop_priorities_always_topological;
+      prop_eval_traces_match_oracle ]
 
 let () =
   Alcotest.run "sched"
@@ -469,6 +643,13 @@ let () =
           Alcotest.test_case "meets deadline" `Quick test_schedule_meets_deadline;
           Alcotest.test_case "battery cost" `Quick test_schedule_battery_cost_positive;
           Alcotest.test_case "currents order" `Quick test_schedule_currents_in_sequence_order ] );
+      ( "eval",
+        [ Alcotest.test_case "unsafe_make" `Quick test_unsafe_make;
+          Alcotest.test_case "matches oracle at load" `Quick test_eval_matches_oracle_at_load;
+          Alcotest.test_case "swap_allowed" `Quick test_eval_swap_allowed;
+          Alcotest.test_case "moves match oracle" `Quick test_eval_moves_match_oracle;
+          Alcotest.test_case "pending protocol" `Quick test_eval_pending_protocol;
+          Alcotest.test_case "load reuses evaluator" `Quick test_eval_load_reuses_evaluator ] );
       ( "priorities",
         [ Alcotest.test_case "dec energy" `Quick test_sequence_dec_energy_orders_by_avg_energy;
           Alcotest.test_case "weighted uses chosen currents" `Quick test_weighted_sequence_uses_chosen_currents;
