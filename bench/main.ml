@@ -220,6 +220,20 @@ let scenario_scaling =
   @ List.map multistart
       [ ("sequential", Batsched_numeric.Pool.sequential);
         ("parallel", Batsched_numeric.Pool.create_recommended ()) ]
+  @ [ (* screened multistart: 16 random seeds costed in one
+         structure-of-arrays [Sigma_batch] sweep, only the best 3 (plus
+         the deterministic seed) run the full window-sweep loop *)
+      (let g = fork_join [ 5; 4; 4 ] in
+       let deadline =
+         Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+       in
+       let cfg = Batsched.Config.make ~deadline () in
+       ("multistart-batch/n16-screen16",
+        fun () ->
+          let rng = Batsched_numeric.Rng.create 7 in
+          ignore
+            (Batsched.Iterate.run_multistart ~rng ~starts:4 ~screen:16 cfg g)))
+    ]
 
 (* The incremental-vs-reference choose pair on one n64 instance: same
    graph, same sequence, same window, only the CalculateDPF evaluation
@@ -243,11 +257,26 @@ let scenario_choose =
       steps_per_temperature = 10;
       temperature_floor = 500.0 }
   in
-  let anneal eval () =
+  (* same walk, same seed, same RNG stream; only the candidate-costing
+     path differs — the per-model delta/reference ratio is the speedup
+     the matching evaluation strategy buys (KiBaM: closed-form
+     suffix-coordinate terms; diffusion: checkpointed PDE restarts) *)
+  let anneal m eval () =
     let rng = Batsched_numeric.Rng.create 11 in
     ignore
-      (Batsched_baselines.Annealing.run ~params:anneal_params ~eval ~rng ~model
-         g ~deadline)
+      (Batsched_baselines.Annealing.run ~params:anneal_params ~eval ~rng
+         ~model:m g ~deadline)
+  in
+  let kibam = Batsched_battery.Kibam.model () in
+  let diffusion =
+    (* coarse grid: the pair measures the checkpointing strategy, not
+       the grid resolution, and the default 64-node grid is far too
+       slow for a 0.5 s Bechamel quota *)
+    let params =
+      Batsched_battery.Diffusion.make_params ~nodes:16 ~dt:0.5 ~alpha:40375.0
+        ~beta:0.273 ()
+    in
+    Batsched_battery.Diffusion.model ~params ()
   in
   [ ("choose-n64/window0",
      fun () ->
@@ -259,8 +288,13 @@ let scenario_choose =
        ignore
          (Batsched.Choose.choose_design_points_reference cfg g ~sequence:seq
             ~window_start:0));
-    ("anneal-n64-delta/short-walk", anneal `Delta);
-    ("anneal-n64-reference/short-walk", anneal `Reference) ]
+    ("anneal-n64-delta/short-walk", anneal model `Delta);
+    ("anneal-n64-reference/short-walk", anneal model `Reference);
+    ("anneal-n64-kibam-delta/short-walk", anneal kibam `Delta);
+    ("anneal-n64-kibam-reference/short-walk", anneal kibam `Reference);
+    ("anneal-n64-diffusion-delta/short-walk", anneal diffusion `Delta);
+    ("anneal-n64-diffusion-reference/short-walk", anneal diffusion `Reference)
+  ]
 
 let scenarios =
   scenario_kernels @ scenario_artifacts @ scenario_scaling @ scenario_choose
@@ -274,7 +308,7 @@ let scenarios =
    [Schedule] path at checkpoints.  A relative disagreement beyond 1e-9
    aborts the smoke run — and with it @bench-smoke, @check and CI. *)
 let delta_cross_check () =
-  let check_instance label g ~deadline =
+  let check_instance ~model label g ~deadline =
     let rng = Batsched_numeric.Rng.create 123 in
     let sol = Batsched_baselines.Chowdhury.run ~model g ~deadline in
     let ev =
@@ -321,12 +355,90 @@ let delta_cross_check () =
     done;
     Printf.printf "smoke %-40s ok\n%!" ("delta-cross-check/" ^ label)
   in
-  check_instance "g2" Batsched_taskgraph.Instances.g2
+  check_instance ~model "g2" Batsched_taskgraph.Instances.g2
     ~deadline:(List.hd Batsched_taskgraph.Instances.g2_deadlines);
-  check_instance "g3" Batsched_taskgraph.Instances.g3 ~deadline:230.0;
+  check_instance ~model "g3" Batsched_taskgraph.Instances.g3 ~deadline:230.0;
   let g = fork_join [ 5; 4; 4 ] in
-  check_instance "fork-join-n16" g
-    ~deadline:(Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6)
+  let n16_deadline =
+    Batsched_taskgraph.Generators.feasible_deadline g ~slack:0.6
+  in
+  check_instance ~model "fork-join-n16" g ~deadline:n16_deadline;
+  (* the other delta strategies: KiBaM goes through the closed-form
+     suffix-coordinate incremental terms, diffusion through the
+     checkpointed PDE stepper — same oracle, same tolerance *)
+  let kibam = Batsched_battery.Kibam.model () in
+  check_instance ~model:kibam "kibam-g2" Batsched_taskgraph.Instances.g2
+    ~deadline:(List.hd Batsched_taskgraph.Instances.g2_deadlines);
+  check_instance ~model:kibam "kibam-fork-join-n16" g ~deadline:n16_deadline;
+  let diffusion =
+    let params =
+      Batsched_battery.Diffusion.make_params ~nodes:8 ~dt:1.0 ~alpha:40375.0
+        ~beta:0.273 ()
+    in
+    Batsched_battery.Diffusion.model ~params ()
+  in
+  check_instance ~model:diffusion "diffusion-g2" Batsched_taskgraph.Instances.g2
+    ~deadline:(List.hd Batsched_taskgraph.Instances.g2_deadlines)
+
+(* Sigma_batch-vs-sequential cross-check, smoke only: one random
+   candidate block evaluated through the structure-of-arrays sweep must
+   match per-row [Model.sigma_end] on the materialized profiles — for
+   every model (kernel or fallback path) and at pool sizes 1 and 4. *)
+let sigma_batch_cross_check () =
+  let pop = 4 and n = 12 in
+  let rng = Batsched_numeric.Rng.create 2024 in
+  let currents =
+    Array.init (pop * n) (fun _ ->
+        100.0 +. (700.0 *. Batsched_numeric.Rng.float rng 1.0))
+  in
+  let durations =
+    Array.init (pop * n) (fun _ ->
+        (* one zero-duration interval in ~5 to exercise the skip path *)
+        if Batsched_numeric.Rng.int rng 5 = 0 then 0.0
+        else 0.5 +. (7.5 *. Batsched_numeric.Rng.float rng 1.0))
+  in
+  let models =
+    [ Batsched_battery.Ideal.model;
+      Batsched_battery.Peukert.model ();
+      Batsched_battery.Rakhmatov.model ();
+      Batsched_battery.Kibam.model ();
+      (let params =
+         Batsched_battery.Diffusion.make_params ~nodes:8 ~dt:1.0 ~alpha:40375.0
+           ~beta:0.273 ()
+       in
+       Batsched_battery.Diffusion.model ~params ()) ]
+  in
+  let pool4 = Batsched_numeric.Pool.create 4 in
+  List.iter
+    (fun (m : Batsched_battery.Model.t) ->
+      let oracle =
+        Array.init pop (fun p ->
+            let profile =
+              Batsched_battery.Profile.sequential_fn ~n (fun k ->
+                  (currents.((p * n) + k), durations.((p * n) + k)))
+            in
+            Batsched_battery.Model.sigma_end m profile)
+      in
+      List.iter
+        (fun (plabel, pool) ->
+          let batch = Batsched_battery.Sigma_batch.create ~pool m in
+          Batsched_battery.Sigma_batch.eval batch ~pop ~n
+            ~current:(fun p k -> currents.((p * n) + k))
+            ~duration:(fun p k -> durations.((p * n) + k));
+          for p = 0 to pop - 1 do
+            let got = Batsched_battery.Sigma_batch.sigma batch p in
+            let want = oracle.(p) in
+            if Float.abs (got -. want) > 1e-9 *. (1.0 +. Float.abs want) then
+              failwith
+                (Printf.sprintf
+                   "sigma-batch cross-check: %s/%s row %d: batch=%.17g \
+                    sequential=%.17g"
+                   m.Batsched_battery.Model.name plabel p got want)
+          done)
+        [ ("pool1", Batsched_numeric.Pool.sequential); ("pool4", pool4) ];
+      Printf.printf "smoke %-40s ok\n%!"
+        ("sigma-batch-cross-check/" ^ m.Batsched_battery.Model.name))
+    models
 
 let run_smoke () =
   List.iter
@@ -334,7 +446,8 @@ let run_smoke () =
       Batsched_obs.Sink.with_span !obs name fn;
       Printf.printf "smoke %-40s ok\n%!" name)
     scenarios;
-  delta_cross_check ()
+  delta_cross_check ();
+  sigma_batch_cross_check ()
 
 (* --- work profile: counters from one instrumented run per scenario ---
 
@@ -451,6 +564,13 @@ let json_counters row =
       (fun (name, get) -> Printf.sprintf "\"%s\": %d" name (get c))
       Batsched_numeric.Probe.fields
   in
+  (* open-keyed counters, e.g. "delta_full_evals/<model>": fallback
+     attribution per battery model *)
+  let named =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v)
+      (Batsched_numeric.Probe.named_counts c)
+  in
   let rate hits misses =
     let total = hits + misses in
     if total = 0 then "null"
@@ -475,7 +595,7 @@ let json_counters row =
       Printf.sprintf "\"words_per_sigma\": %s"
         (per row.minor_words c.Batsched_numeric.Probe.sigma_evals) ]
   in
-  "{" ^ String.concat ", " (fields @ derived) ^ "}"
+  "{" ^ String.concat ", " (fields @ named @ derived) ^ "}"
 
 (* Provenance header: which commit produced the file and how wide the
    recommended pool is on this machine.  [git_rev] degrades to

@@ -66,10 +66,17 @@ let start_solution ~model g ~deadline =
   | sol -> sol
   | exception Chowdhury.Infeasible -> raise No_feasible_state
 
-(* Reference mode: the original implementation, kept verbatim — every
-   candidate is costed through a freshly validated schedule and the
-   model's full sigma path.  This is the benchmark baseline and the
-   equivalence-test oracle for the delta mode below. *)
+(* Reference mode: the original implementation — every candidate is
+   costed through a freshly validated schedule and the model's full
+   sigma path.  This is the benchmark baseline and the equivalence-test
+   oracle for the delta mode below.  Both modes draw one Metropolis
+   uniform per evaluated candidate whether or not the move is downhill,
+   so the RNG stream position never depends on which evaluation
+   strategy produced the energies: the walks stay move-for-move aligned
+   even when the two paths disagree by an ulp at an exact tie (which
+   happens routinely on graphs with identical parallel tasks, where a
+   swap leaves sigma unchanged bit-for-bit on one path and one ulp off
+   on the other). *)
 
 type state = { sequence : int array; assignment : Assignment.t }
 
@@ -115,9 +122,13 @@ let run_reference ~params ~rng ~model g ~deadline sol =
       | _ ->
           let cand = apply_move !st mv in
           let e, sigma, feasible, sched = energy_of ~model g ~deadline cand in
+          (* the Metropolis uniform is drawn even for downhill moves:
+             RNG consumption must not depend on the energy comparison,
+             or an ulp-level tie evaluated differently by the delta
+             path would silently desynchronize the two walks *)
+          let u = Rng.float rng 1.0 in
           let accept =
-            e <= !cur_energy
-            || Rng.float rng 1.0 < exp ((!cur_energy -. e) /. !temperature)
+            e <= !cur_energy || u < exp ((!cur_energy -. e) /. !temperature)
           in
           if accept then begin
             probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1;
@@ -163,9 +174,10 @@ let run_delta ~params ~rng ~model g ~deadline sol =
           in
           let overrun = Float.max 0.0 (finish -. deadline) in
           let e = sigma +. (penalty_rate *. overrun) in
+          (* unconditional draw: see [run_reference] *)
+          let u = Rng.float rng 1.0 in
           let accept =
-            e <= !cur_energy
-            || Rng.float rng 1.0 < exp ((!cur_energy -. e) /. !temperature)
+            e <= !cur_energy || u < exp ((!cur_energy -. e) /. !temperature)
           in
           if accept then begin
             probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1;
@@ -195,3 +207,105 @@ let run ?(params = default_params) ?(eval = `Delta) ~rng ~model g ~deadline =
   match eval with
   | `Delta -> run_delta ~params ~rng ~model g ~deadline sol
   | `Reference -> run_reference ~params ~rng ~model g ~deadline sol
+
+(* Population mode: [pop] delta-evaluated walkers advance through the
+   same cooling ladder, stepped round-robin off one shared RNG (walker
+   [w] draws its whole per-temperature sweep before walker [w+1], so
+   the streams are deterministic and pool-independent).  After each
+   temperature level the whole population is re-costed in a single
+   {!Batsched_battery.Sigma_batch} structure-of-arrays sweep — sharded over [pool] —
+   which (a) resynchronizes every walker's running energy against a
+   fresh batched evaluation, bounding delta drift across the long walk,
+   (b) tracks the population best, confirmed through the full model
+   path before adoption, and (c) reheats the stragglers: the worst
+   walker is reseeded from the best walker's state (no RNG draws are
+   consumed, so the move streams stay aligned).  Per-temperature best
+   tracking is coarser than {!run}'s per-accept tracking — the
+   population trades that for breadth. *)
+let run_population ?(params = default_params) ?(pop = 8)
+    ?(pool = Pool.sequential) ~rng ~model g ~deadline =
+  check_params params;
+  if pop < 1 then invalid_arg "Annealing.run_population: pop < 1";
+  let sol0 = start_solution ~model g ~deadline in
+  let n = Graph.num_tasks g and m = Graph.num_points g in
+  let energy sigma finish =
+    sigma +. (penalty_rate *. Float.max 0.0 (finish -. deadline))
+  in
+  let walkers =
+    Array.init pop (fun _ -> Eval.make ~model g sol0.Solution.schedule)
+  in
+  let cur_energy =
+    Array.map (fun ev -> energy (Eval.sigma ev) (Eval.finish ev)) walkers
+  in
+  let batch = Batsched_battery.Sigma_batch.create ~pool model in
+  let best = ref sol0 in
+  let temperature = ref params.initial_temperature in
+  let probe = Probe.local () in
+  while !temperature > params.temperature_floor do
+    for w = 0 to pop - 1 do
+      let ev = walkers.(w) in
+      let ce = ref cur_energy.(w) in
+      for _ = 1 to params.steps_per_temperature do
+        let mv =
+          draw_move ~rng ~n ~m ~swap_ok:(fun k -> Eval.swap_allowed ev k)
+        in
+        match mv with
+        | Move_repoint (i, j) when Eval.column ev i = j ->
+            probe.Probe.anneal_noops <- probe.Probe.anneal_noops + 1;
+            probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1
+        | _ ->
+            let sigma, finish =
+              match mv with
+              | Move_swap k -> Eval.try_swap ev k
+              | Move_repoint (i, j) -> Eval.try_repoint ev ~task:i ~col:j
+            in
+            let e = energy sigma finish in
+            (* unconditional draw: see [run_reference] *)
+            let u = Rng.float rng 1.0 in
+            let accept = e <= !ce || u < exp ((!ce -. e) /. !temperature) in
+            if accept then begin
+              probe.Probe.anneal_accepted <- probe.Probe.anneal_accepted + 1;
+              Eval.commit ev;
+              ce := e
+            end
+            else begin
+              probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1;
+              Eval.discard ev
+            end
+      done;
+      cur_energy.(w) <- !ce
+    done;
+    (* population step: one batched sweep over every walker's committed
+       intervals (positional reads of the delta state — no schedule or
+       profile materialization) *)
+    Batsched_battery.Sigma_batch.eval batch ~pop ~n
+      ~current:(fun p k -> Eval.interval_current walkers.(p) k)
+      ~duration:(fun p k -> Eval.interval_duration walkers.(p) k);
+    for p = 0 to pop - 1 do
+      cur_energy.(p) <-
+        energy (Batsched_battery.Sigma_batch.sigma batch p) (Batsched_battery.Sigma_batch.finish batch p)
+    done;
+    let bi = ref 0 and wi = ref 0 in
+    for p = 1 to pop - 1 do
+      if cur_energy.(p) < cur_energy.(!bi) then bi := p;
+      if cur_energy.(p) > cur_energy.(!wi) then wi := p
+    done;
+    let bsigma = Batsched_battery.Sigma_batch.sigma batch !bi
+    and bfinish = Batsched_battery.Sigma_batch.finish batch !bi in
+    if
+      Float.max 0.0 (bfinish -. deadline) <= 1e-9
+      && bsigma < !best.Solution.sigma
+    then begin
+      (* confirm through the full path before adopting, as in {!run} *)
+      let sol =
+        Solution.of_schedule ~model g (Eval.to_schedule walkers.(!bi))
+      in
+      if sol.Solution.sigma < !best.Solution.sigma then best := sol
+    end;
+    if !wi <> !bi then begin
+      Eval.load walkers.(!wi) (Eval.to_schedule walkers.(!bi));
+      cur_energy.(!wi) <- cur_energy.(!bi)
+    end;
+    temperature := !temperature *. params.cooling
+  done;
+  !best

@@ -44,3 +44,21 @@ val run :
     model, so results agree with pre-delta runs under the same seed up
     to sigma round-off (see {!Batsched_sched.Eval}).
     @raise No_feasible_state; @raise Invalid_argument on bad params. *)
+
+val run_population :
+  ?params:params -> ?pop:int -> ?pool:Batsched_numeric.Pool.t ->
+  rng:Batsched_numeric.Rng.t -> model:Model.t ->
+  Graph.t -> deadline:float -> Solution.t
+(** Population variant: [pop] (default 8) delta-evaluated walkers share
+    one cooling ladder, stepped round-robin off the single [rng] (so
+    the walk is deterministic for a fixed seed).  After every
+    temperature level the whole population is re-costed in one
+    {!Batsched_battery.Sigma_batch} structure-of-arrays sweep — sharded
+    over [pool] (default sequential; the batch results are
+    bit-identical at any pool size) — which resynchronizes the
+    walkers' running energies, tracks the population best (confirmed
+    through the full model path), and reseeds the worst walker from
+    the best one's state, consuming no RNG draws.  [pop = 1] is {!run}
+    with [`Delta] up to the per-level best-tracking granularity.
+    @raise No_feasible_state; @raise Invalid_argument on bad params or
+    [pop < 1]. *)

@@ -17,15 +17,36 @@ let make_params ?(nodes = 64) ?(dt = 0.02) ~alpha ~beta () =
 let default_params =
   make_params ~alpha:40375.0 ~beta:Rakhmatov.default_beta ()
 
+(* Work arrays for the Crank–Nicolson sweeps, sized once per
+   integration context so the stepping loop allocates nothing. *)
+type scratch = {
+  v : float array;      (* explicit-half right-hand side *)
+  diag : float array;
+  lower : float array;
+  upper : float array;
+  cw : float array;     (* Thomas forward-sweep scratch *)
+  dw : float array;
+  out : float array;    (* solution before blitting back into u *)
+}
+
+let make_scratch n =
+  { v = Array.make n 0.0;
+    diag = Array.make n 0.0;
+    lower = Array.make (n - 1) 0.0;
+    upper = Array.make (n - 1) 0.0;
+    cw = Array.make (Stdlib.max 1 (n - 1)) 0.0;
+    dw = Array.make n 0.0;
+    out = Array.make n 0.0 }
+
 (* One Crank-Nicolson step of du/dt = D u_xx with flux I at x = 0 and a
    sealed wall at x = 1, over time step [dt].  [u] is updated in
-   place. *)
-let cn_step ~dee ~dx ~dt ~current u =
+   place; all intermediates live in [sc]. *)
+let cn_step ~sc ~dee ~dx ~dt ~current u =
   let n = Array.length u in
   let r = dee /. (dx *. dx) in
   let half = 0.5 *. dt in
   (* explicit half: v = (I + dt/2 A) u + dt * s *)
-  let v = Array.make n 0.0 in
+  let v = sc.v in
   v.(0) <-
     u.(0) +. (half *. ((2.0 *. r *. u.(1)) -. (2.0 *. r *. u.(0))))
     -. (dt *. 2.0 *. current /. dx);
@@ -38,22 +59,23 @@ let cn_step ~dee ~dx ~dt ~current u =
     u.(n - 1)
     +. (half *. ((2.0 *. r *. u.(n - 2)) -. (2.0 *. r *. u.(n - 1))));
   (* implicit half: (I - dt/2 A) u' = v *)
-  let diag = Array.make n (1.0 +. (dt *. r)) in
-  let lower = Array.make (n - 1) (-.half *. r) in
-  let upper = Array.make (n - 1) (-.half *. r) in
-  upper.(0) <- -.dt *. r;
-  lower.(n - 2) <- -.dt *. r;
-  let u' = Tridiag.solve ~lower ~diag ~upper ~rhs:v in
-  Array.blit u' 0 u 0 n
+  Array.fill sc.diag 0 n (1.0 +. (dt *. r));
+  Array.fill sc.lower 0 (n - 1) (-.half *. r);
+  Array.fill sc.upper 0 (n - 1) (-.half *. r);
+  sc.upper.(0) <- -.dt *. r;
+  sc.lower.(n - 2) <- -.dt *. r;
+  Tridiag.solve_into ~lower:sc.lower ~diag:sc.diag ~upper:sc.upper ~rhs:v
+    ~cw:sc.cw ~dw:sc.dw ~out:sc.out;
+  Array.blit sc.out 0 u 0 n
 
 (* Advance [u] across a span of constant current, splitting it into
    steps no longer than params.dt. *)
-let advance ~params ~dee ~dx ~current u span =
+let advance ~params ~sc ~dee ~dx ~current u span =
   if span > 0.0 then begin
     let steps = Stdlib.max 1 (int_of_float (Float.ceil (span /. params.dt))) in
     let dt = span /. float_of_int steps in
     for _ = 1 to steps do
-      cn_step ~dee ~dx ~dt ~current u
+      cn_step ~sc ~dee ~dx ~dt ~current u
     done
   end
 
@@ -62,12 +84,13 @@ let surface ~params profile ~at =
   let n = params.nodes in
   let dx = 1.0 /. float_of_int (n - 1) in
   let dee = params.beta *. params.beta /. (Float.pi *. Float.pi) in
+  let sc = make_scratch n in
   let u = Array.make n params.alpha in
   let clock = ref 0.0 in
   let run_to t ~current =
     let t = Float.min t at in
     if t > !clock then begin
-      advance ~params ~dee ~dx ~current u (t -. !clock);
+      advance ~params ~sc ~dee ~dx ~current u (t -. !clock);
       clock := t
     end
   in
@@ -85,6 +108,28 @@ let surface_density ?(params = default_params) profile ~at =
 let sigma ?(params = default_params) profile ~at =
   params.alpha -. surface ~params profile ~at
 
-let model ?params () =
-  { Model.name = "diffusion-pde"; sigma = (fun p ~at -> sigma ?params p ~at);
-    incremental = None }
+(* Checkpointable integration for the delta evaluator: the PDE state is
+   the full charge-density grid, a flat float vector {!Delta} can
+   snapshot and restore with [Array.blit].  [advance] splits every
+   interval independently of absolute time, so restoring a checkpoint
+   and re-integrating the suffix is bit-identical to integrating the
+   whole profile from scratch. *)
+let stepper params =
+  let n = params.nodes in
+  let dx = 1.0 /. float_of_int (n - 1) in
+  let dee = params.beta *. params.beta /. (Float.pi *. Float.pi) in
+  { Model.state_dim = n;
+    fresh =
+      (fun () ->
+        let sc = make_scratch n in
+        { Model.start = (fun u -> Array.fill u 0 n params.alpha);
+          advance =
+            (fun u ~current ~duration ->
+              advance ~params ~sc ~dee ~dx ~current u duration);
+          observe = (fun u -> params.alpha -. u.(0)) }) }
+
+let model ?(params = default_params) () =
+  { Model.name = "diffusion-pde"; sigma = (fun p ~at -> sigma ~params p ~at);
+    incremental = None;
+    stepper = Some (stepper params);
+    batch = None }

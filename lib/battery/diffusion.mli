@@ -46,5 +46,15 @@ val sigma : ?params:params -> Profile.t -> at:float -> float
 val surface_density : ?params:params -> Profile.t -> at:float -> float
 (** [u(0, at)] itself (the battery dies when it reaches 0). *)
 
+val stepper : params -> Model.stepper
+(** Checkpointable integration context: state is the charge-density
+    grid ([nodes] floats).  Because each interval is integrated
+    independently of absolute time, restoring a snapshot and
+    re-integrating a suffix is bit-identical to a from-scratch
+    integration — which is what makes the delta evaluator's
+    checkpointed path exact. *)
+
 val model : ?params:params -> unit -> Model.t
-(** Packaged as a {!Model.t} named ["diffusion-pde"]. *)
+(** Packaged as a {!Model.t} named ["diffusion-pde"], with the
+    checkpointed {!stepper} (no per-interval decomposition exists for
+    the PDE). *)

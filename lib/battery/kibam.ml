@@ -1,3 +1,5 @@
+open Batsched_numeric
+
 type params = {
   capacity : float;
   c : float;
@@ -19,11 +21,14 @@ let full p = { available = p.c *. p.capacity; bound = (1.0 -. p.c) *. p.capacity
 (* Manwell–McGowan closed form for one constant-current interval.  With
    y0 the total charge at interval start and r = e^{-k' t}:
      y1(t) = y1 r + (y0 k' c - I)(1 - r)/k' - I c (k' t - 1 + r)/k'
-     y2(t) = y0 - I t - y1(t)                (charge conservation)      *)
-let step p { available = y1; bound = y2 } ~current ~duration =
+     y2(t) = y0 - I t - y1(t)                (charge conservation)
+   A zero-length interval is the identity: the input state is returned
+   as-is (same record, bit-identical wells), so degenerate intervals
+   from same-column repoints cannot introduce drift. *)
+let step p ({ available = y1; bound = y2 } as st) ~current ~duration =
   if current < 0.0 then invalid_arg "Kibam.step: negative current";
   if duration < 0.0 then invalid_arg "Kibam.step: negative duration";
-  if duration = 0.0 then { available = y1; bound = y2 }
+  if duration = 0.0 then st
   else begin
     let k' = p.k_prime in
     let y0 = y1 +. y2 in
@@ -58,6 +63,66 @@ let sigma ?(params = default_params) profile ~at =
   let st = state_at params profile ~at in
   params.capacity -. (st.available /. params.c)
 
-let model ?params () =
-  { Model.name = "kibam"; sigma = (fun p ~at -> sigma ?params p ~at);
-    incremental = None }
+(* Suffix-time decomposition.  The per-interval affine maps above are
+   simultaneously diagonalizable: total charge y0 = y1 + y2 follows
+   y0' = y0 - I D (eigenvector (c, 1-c), eigenvalue 1), and the
+   disequilibrium gamma = y1 - c y0 follows
+     gamma' = r gamma - I (1-c)(1-r)/k'        with r = e^{-k' D}.
+   A full battery starts at equilibrium (gamma = 0 exactly), so at the
+   makespan of a gapless profile the recursion unrolls to a sum over
+   intervals weighted by the product of the r's after each — i.e. by
+   e^{-k' tail}.  Substituting into sigma = capacity - y1/c:
+
+     sigma = sum_k [ I_k D_k
+                     + ((1-c)/(c k')) I_k (1 - e^{-k' D_k}) e^{-k' tail_k} ]
+
+   which is exactly the {!Model.incremental} contract: the charge
+   integral plus a tail-weighted disequilibrium term.  A zero-duration
+   interval contributes exactly 0 (the guard short-circuits; even
+   without it, [1 -. exp 0.0] is exactly [0.]). *)
+let incremental params =
+  let k' = params.k_prime in
+  let coef = (1.0 -. params.c) /. (params.c *. k') in
+  { Model.term =
+      (fun ~current ~duration ~tail ->
+        if duration = 0.0 then 0.0
+        else
+          (current *. duration)
+          +. (coef *. current
+              *. (1.0 -. exp (-.k' *. duration))
+              *. exp (-.k' *. tail)));
+    tail_sensitive = true }
+
+(* Population kernel: one backward sweep per candidate with a running
+   product e^{-k' tail_k} = prod_{j>k} r_j — one [exp] per non-empty
+   interval, against the two the incremental term pays.  The carry
+   lives in a one-element float array (flat, so the inner loop
+   allocates nothing). *)
+let batch params =
+  let k' = params.k_prime in
+  let coef = (1.0 -. params.c) /. (params.c *. k') in
+  { Model.batch_run =
+      (fun ~n ~currents ~durations ~tails:_ ~sigmas ~lo ~hi ->
+        let acc = Kahan.Acc.create () in
+        let etail = Array.make 1 1.0 in
+        for p = lo to hi - 1 do
+          Kahan.Acc.reset acc;
+          etail.(0) <- 1.0;
+          let base = p * n in
+          for k = n - 1 downto 0 do
+            let i = currents.(base + k) and d = durations.(base + k) in
+            if d <> 0.0 then begin
+              let r = exp (-.k' *. d) in
+              Kahan.Acc.add acc
+                ((i *. d) +. (coef *. i *. (1.0 -. r) *. etail.(0)));
+              etail.(0) <- etail.(0) *. r
+            end
+          done;
+          sigmas.(p) <- Kahan.Acc.sum acc
+        done) }
+
+let model ?(params = default_params) () =
+  { Model.name = "kibam"; sigma = (fun p ~at -> sigma ~params p ~at);
+    incremental = Some (incremental params);
+    stepper = None;
+    batch = Some (batch params) }

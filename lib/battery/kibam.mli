@@ -37,7 +37,10 @@ val full : params -> state
 val step : params -> state -> current:float -> duration:float -> state
 (** Closed-form evolution over one constant-current interval.  Both
     wells may legitimately go negative once the battery is past
-    exhaustion; callers detect death via [available <= 0].
+    exhaustion; callers detect death via [available <= 0].  A
+    zero-length interval is the exact identity (the input state is
+    returned unchanged), so degenerate intervals from same-column
+    repoints introduce no drift.
     @raise Invalid_argument on negative current or duration. *)
 
 val state_at : params -> Profile.t -> at:float -> state
@@ -51,6 +54,24 @@ val sigma : ?params:params -> Profile.t -> at:float -> float
     under load it exceeds it (rate capacity); the battery dies when
     [sigma >= capacity]. *)
 
+val incremental : params -> Model.incremental
+(** The exact suffix-time decomposition of [sigma] at the makespan of a
+    gapless profile: the per-interval affine maps diagonalize (total
+    charge is conserved; the disequilibrium [y1 - c*y0] contracts by
+    [e^{-k' D}] per interval), giving
+
+    {[ sigma = sum_k ( I_k D_k
+                       + ((1-c)/(c k')) I_k (1 - e^{-k' D_k}) e^{-k' tail_k} ) ]}
+
+    Tail-sensitive; a [duration = 0] term is exactly [0.].  See
+    DESIGN.md §11 for the derivation. *)
+
+val batch : params -> Model.batch
+(** Structure-of-arrays population kernel: one backward sweep per
+    candidate with a running [e^{-k' tail}] product — one [exp] per
+    non-empty interval. *)
+
 val model : ?params:params -> unit -> Model.t
-(** Packaged as a {!Model.t} named ["kibam"].  Use [params.capacity] as
-    the matching [alpha] for lifetime queries. *)
+(** Packaged as a {!Model.t} named ["kibam"] with the incremental and
+    batched paths above.  Use [params.capacity] as the matching [alpha]
+    for lifetime queries. *)

@@ -3,10 +3,35 @@ type incremental = {
   tail_sensitive : bool;
 }
 
+type stepper_ops = {
+  start : float array -> unit;
+  advance : float array -> current:float -> duration:float -> unit;
+  observe : float array -> float;
+}
+
+type stepper = {
+  state_dim : int;
+  fresh : unit -> stepper_ops;
+}
+
+type batch = {
+  batch_run :
+    n:int ->
+    currents:float array ->
+    durations:float array ->
+    tails:float array ->
+    sigmas:float array ->
+    lo:int ->
+    hi:int ->
+    unit;
+}
+
 type t = {
   name : string;
   sigma : Profile.t -> at:float -> float;
   incremental : incremental option;
+  stepper : stepper option;
+  batch : batch option;
 }
 
 let sigma_end m p = m.sigma p ~at:(Profile.length p)

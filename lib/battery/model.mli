@@ -3,8 +3,9 @@
     A model maps a discharge profile and an observation instant to the
     *apparent charge lost* sigma (mA*min).  A battery with capacity
     parameter alpha dies at the first instant where sigma reaches alpha.
-    Three implementations ship with the library: {!Ideal}, {!Peukert}
-    and {!Rakhmatov} (the paper's cost function). *)
+    Five implementations ship with the library: {!Ideal}, {!Peukert},
+    {!Rakhmatov} (the paper's cost function), {!Kibam} and the
+    {!Diffusion} PDE reference. *)
 
 type incremental = {
   term : current:float -> duration:float -> tail:float -> float;
@@ -28,12 +29,64 @@ type incremental = {
   (** Whether [term] actually reads [tail].  [false] (ideal, Peukert —
       sigma is a makespan-independent sum) lets the delta evaluator
       skip recomputing unchanged terms whose tails moved; [true]
-      (Rakhmatov–Vrudhula — the recovery series depends on how long the
-      interval has to relax before the observation instant) forces the
-      [0..i] prefix walk on duration changes. *)
+      (Rakhmatov–Vrudhula, KiBaM — the recovery/relaxation component
+      depends on how long the interval has to relax before the
+      observation instant) forces the [0..i] prefix walk on duration
+      changes. *)
 }
 (** First-class incremental evaluation interface.  See
     {!Delta} for the mutable schedule state built on top of it. *)
+
+type stepper_ops = {
+  start : float array -> unit;
+  (** Write the fully-charged initial state into the buffer. *)
+  advance : float array -> current:float -> duration:float -> unit;
+  (** Evolve the state in place through one constant-current interval.
+      [duration = 0] must leave the state bit-identical. *)
+  observe : float array -> float;
+  (** Sigma at the instant the state describes. *)
+}
+(** One integration context.  The float-array state representation is
+    what lets {!Delta} snapshot and restore checkpoints with flat
+    [Array.blit]s, no per-checkpoint allocation. *)
+
+type stepper = {
+  state_dim : int;
+  (** Number of floats in a state vector. *)
+  fresh : unit -> stepper_ops;
+  (** Allocate a context (scratch buffers etc.).  Contexts are not
+      shared across domains; each evaluator calls [fresh] once. *)
+}
+(** Checkpointable sequential integration, for stateful models whose
+    sigma does {e not} decompose per interval (the diffusion PDE).
+    {!Delta} snapshots the state every k intervals so a candidate move
+    at position [i] re-integrates only the suffix from the preceding
+    checkpoint — O(n/k + stride) instead of O(n) per move — while
+    remaining bit-identical to a from-scratch integration. *)
+
+type batch = {
+  batch_run :
+    n:int ->
+    currents:float array ->
+    durations:float array ->
+    tails:float array ->
+    sigmas:float array ->
+    lo:int ->
+    hi:int ->
+    unit;
+  (** Structure-of-arrays population kernel.  The arrays hold one row of
+      [n] floats per candidate (row-major; candidate [p]'s interval [k]
+      lives at index [p*n + k]); [tails.(p*n + k)] is the suffix
+      duration after interval [k], computed by plain backward adds so
+      that [tails.(i) = durations.(i+1) +. tails.(i+1)] bit-exactly.
+      Writes the end-of-profile sigma of candidates [lo..hi-1] into
+      [sigmas] (one float per candidate, indexed by candidate).  Must
+      agree with [sigma] on the equivalent sequential profile to
+      float-accumulation noise, and must not allocate per candidate —
+      the point is to share series bookkeeping (one [exp] per suffix
+      point) across the population. *)
+}
+(** Batched evaluation for population searches; see {!Sigma_batch}. *)
 
 type t = {
   name : string;
@@ -47,10 +100,17 @@ type t = {
       estimation looks for the {e first} crossing of alpha. *)
   incremental : incremental option;
   (** The per-interval decomposition of [sigma] at the makespan, when
-      the model admits one; [None] (KiBaM, the diffusion PDE — stateful
-      models whose sigma does not decompose per interval) makes the
-      delta evaluator fall back to a full re-evaluation per candidate
-      move. *)
+      the model admits one (ideal, Peukert, Rakhmatov–Vrudhula, KiBaM
+      — for KiBaM the two-well affine maps diagonalize in suffix-time
+      coordinates, see DESIGN.md §11). *)
+  stepper : stepper option;
+  (** Checkpointable integration for models with state but no
+      per-interval decomposition (the diffusion PDE).  The delta
+      evaluator prefers [incremental], then [stepper], then falls back
+      to a counted full re-evaluation per candidate move. *)
+  batch : batch option;
+  (** Population-batched kernel, when one exists; {!Sigma_batch} falls
+      back to sequential [sigma] calls otherwise. *)
 }
 
 val sigma_end : t -> Profile.t -> float

@@ -1,0 +1,63 @@
+(** Population-batched sigma evaluation (structure of arrays).
+
+    Population searches — multistart screening, annealing reheats,
+    evolutionary steps — cost many candidate schedules against one
+    model at once.  Evaluating them one [Profile.t] at a time pays a
+    profile allocation and the full series bookkeeping per candidate;
+    this module lays the whole population out in flat row-major float
+    arrays (candidate [p]'s interval [k] at index [p * n + k]) and
+    hands contiguous candidate ranges to the model's
+    {!Model.batch} kernel, which shares the exponential-series
+    bookkeeping across the sweep (one [exp] per suffix point for
+    Rakhmatov, one per interval for KiBaM) and allocates nothing per
+    candidate.  Models without a kernel (the diffusion PDE) fall back
+    to the sequential full path per candidate, counted separately.
+
+    Ranges are sharded across a {!Pool} when one is supplied: each
+    worker writes only its candidates' [sigmas] slots, so the fan-out
+    is race-free and bit-identical to the sequential sweep.
+
+    The workspace is reusable: arrays grow geometrically across
+    {!eval} calls and are never shrunk.  Counters:
+    [Probe.batch_evals] per sweep, [Probe.batch_candidates] /
+    [Probe.batch_fallbacks] per candidate depending on the path. *)
+
+open Batsched_numeric
+
+type t
+
+val create : ?pool:Pool.t -> Model.t -> t
+(** A reusable workspace for the given model.  [pool] defaults to
+    {!Pool.sequential}. *)
+
+val eval :
+  t ->
+  pop:int ->
+  n:int ->
+  current:(int -> int -> float) ->
+  duration:(int -> int -> float) ->
+  unit
+(** [eval t ~pop ~n ~current ~duration] evaluates [pop] candidate
+    schedules of [n] back-to-back intervals each, where candidate [p]'s
+    interval [k] draws [current p k] amps for [duration p k] minutes.
+    Results are read back with {!sigma} / {!finish}.  Agrees with
+    [Model.sigma_end] on the equivalent sequential profile to
+    float-accumulation noise.
+    @raise Invalid_argument on negative [pop]/[n] or a negative or
+    non-finite interval field. *)
+
+val sigma : t -> int -> float
+(** Candidate [p]'s sigma at its makespan, from the last {!eval}.
+    @raise Invalid_argument out of range. *)
+
+val finish : t -> int -> float
+(** Candidate [p]'s makespan.
+    @raise Invalid_argument out of range. *)
+
+val model : t -> Model.t
+
+val pop : t -> int
+(** Population of the last {!eval} (0 before the first). *)
+
+val width : t -> int
+(** Interval count per candidate of the last {!eval}. *)

@@ -29,3 +29,21 @@ val sum_array : float array -> float
 val sum_fn : int -> (int -> float) -> float
 (** [sum_fn n f] is the compensated sum of [f 0 + ... + f (n-1)].
     @raise Invalid_argument if [n < 0]. *)
+
+(** Mutable accumulator for allocation-sensitive inner loops.  The
+    record is flat (all-float fields), so {!Acc.add} allocates nothing
+    — the immutable {!t} above boxes a fresh record per [add].  Same
+    Neumaier compensation. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+
+  val reset : t -> unit
+  (** Zero the accumulator for reuse. *)
+
+  val add : t -> float -> unit
+
+  val sum : t -> float
+  (** Compensated value accumulated since the last {!reset}. *)
+end

@@ -17,9 +17,15 @@ type t = {
   mutable delta_discards : int;
   mutable delta_terms : int;
   mutable delta_full_evals : int;
+  mutable batch_evals : int;
+  mutable batch_candidates : int;
+  mutable batch_fallbacks : int;
+  mutable delta_ck_advances : int;
+  mutable delta_ck_restores : int;
   mutable fcache_evictions : int;
   mutable pool_regions : int;
   mutable pool_tasks : int;
+  mutable named : (string * int) list;
 }
 
 let zero () =
@@ -41,9 +47,35 @@ let zero () =
     delta_discards = 0;
     delta_terms = 0;
     delta_full_evals = 0;
+    batch_evals = 0;
+    batch_candidates = 0;
+    batch_fallbacks = 0;
+    delta_ck_advances = 0;
+    delta_ck_restores = 0;
     fcache_evictions = 0;
     pool_regions = 0;
-    pool_tasks = 0 }
+    pool_tasks = 0;
+    named = [] }
+
+(* Named counters: a tiny assoc list, because the key population is a
+   handful of model names — linear scan beats hashing at that size and
+   keeps [zero]/[clear] allocation-free.  Bumps on the hot path go
+   through {!bump_named} on the domain-local record. *)
+let bump_named c name v =
+  let rec go = function
+    | [] -> c.named <- (name, v) :: c.named
+    | (n, _) :: _ when String.equal n name ->
+        c.named <-
+          List.map
+            (fun (n, old) ->
+              if String.equal n name then (n, old + v) else (n, old))
+            c.named
+    | _ :: rest -> go rest
+  in
+  go c.named
+
+let named_counts c =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) c.named
 
 let add ~into c =
   into.sigma_evals <- into.sigma_evals + c.sigma_evals;
@@ -64,9 +96,15 @@ let add ~into c =
   into.delta_discards <- into.delta_discards + c.delta_discards;
   into.delta_terms <- into.delta_terms + c.delta_terms;
   into.delta_full_evals <- into.delta_full_evals + c.delta_full_evals;
+  into.batch_evals <- into.batch_evals + c.batch_evals;
+  into.batch_candidates <- into.batch_candidates + c.batch_candidates;
+  into.batch_fallbacks <- into.batch_fallbacks + c.batch_fallbacks;
+  into.delta_ck_advances <- into.delta_ck_advances + c.delta_ck_advances;
+  into.delta_ck_restores <- into.delta_ck_restores + c.delta_ck_restores;
   into.fcache_evictions <- into.fcache_evictions + c.fcache_evictions;
   into.pool_regions <- into.pool_regions + c.pool_regions;
-  into.pool_tasks <- into.pool_tasks + c.pool_tasks
+  into.pool_tasks <- into.pool_tasks + c.pool_tasks;
+  List.iter (fun (name, v) -> bump_named into name v) c.named
 
 let clear c =
   c.sigma_evals <- 0;
@@ -87,9 +125,15 @@ let clear c =
   c.delta_discards <- 0;
   c.delta_terms <- 0;
   c.delta_full_evals <- 0;
+  c.batch_evals <- 0;
+  c.batch_candidates <- 0;
+  c.batch_fallbacks <- 0;
+  c.delta_ck_advances <- 0;
+  c.delta_ck_restores <- 0;
   c.fcache_evictions <- 0;
   c.pool_regions <- 0;
-  c.pool_tasks <- 0
+  c.pool_tasks <- 0;
+  c.named <- []
 
 let fields =
   [ ("sigma_evals", fun c -> c.sigma_evals);
@@ -110,6 +154,11 @@ let fields =
     ("delta_discards", fun c -> c.delta_discards);
     ("delta_terms", fun c -> c.delta_terms);
     ("delta_full_evals", fun c -> c.delta_full_evals);
+    ("batch_evals", fun c -> c.batch_evals);
+    ("batch_candidates", fun c -> c.batch_candidates);
+    ("batch_fallbacks", fun c -> c.batch_fallbacks);
+    ("delta_ck_advances", fun c -> c.delta_ck_advances);
+    ("delta_ck_restores", fun c -> c.delta_ck_restores);
     ("fcache_evictions", fun c -> c.fcache_evictions);
     ("pool_regions", fun c -> c.pool_regions);
     ("pool_tasks", fun c -> c.pool_tasks) ]

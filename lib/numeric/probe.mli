@@ -42,9 +42,19 @@ type t = {
   mutable delta_discards : int;   (** delta-evaluator moves discarded *)
   mutable delta_terms : int;      (** per-position contribution terms recomputed *)
   mutable delta_full_evals : int; (** delta fallbacks to a full model evaluation *)
+  mutable batch_evals : int;      (** [Sigma_batch] population sweeps *)
+  mutable batch_candidates : int; (** candidate schedules batch-evaluated *)
+  mutable batch_fallbacks : int;  (** batch candidates costed without a kernel *)
+  mutable delta_ck_advances : int;(** checkpointed-stepper intervals integrated *)
+  mutable delta_ck_restores : int;(** checkpoint restores in the delta evaluator *)
   mutable fcache_evictions : int; (** Fcache generation flips (half-table expiries) *)
   mutable pool_regions : int;     (** parallel regions actually fanned out *)
   mutable pool_tasks : int;       (** items mapped through [Pool.map_array] *)
+  mutable named : (string * int) list;
+  (** Open-keyed counters for populations too dynamic for a fixed
+      field — e.g. ["delta_full_evals/<model>"] attributing fallbacks
+      per model name.  Bump via {!bump_named}; merged by key in
+      {!add}. *)
 }
 
 val local : unit -> t
@@ -73,4 +83,14 @@ val reset : unit -> unit
 
 val fields : (string * (t -> int)) list
 (** Stable (name, getter) list driving reports and JSON dumps, in
-    declaration order. *)
+    declaration order.  Named counters are not included; render them
+    via {!named_counts}. *)
+
+val bump_named : t -> string -> int -> unit
+(** [bump_named c name v] adds [v] under [name] in [c]'s named
+    counters, creating the key on first use. *)
+
+val named_counts : t -> (string * int) list
+(** The named counters sorted by key (the assoc list itself carries
+    keys in first-bump order, which is not stable across pool
+    schedules). *)

@@ -1,25 +1,33 @@
-let solve ~lower ~diag ~upper ~rhs =
+let solve_into ~lower ~diag ~upper ~rhs ~cw ~dw ~out =
   let n = Array.length diag in
   if n = 0 then invalid_arg "Tridiag.solve: empty system";
   if Array.length lower <> n - 1 || Array.length upper <> n - 1
      || Array.length rhs <> n
   then invalid_arg "Tridiag.solve: inconsistent lengths";
-  (* forward sweep with scratch copies *)
-  let c' = Array.make (Stdlib.max 1 (n - 1)) 0.0 in
-  let d' = Array.make n 0.0 in
+  if Array.length cw < Stdlib.max 1 (n - 1) || Array.length dw < n
+     || Array.length out < n
+  then invalid_arg "Tridiag.solve: scratch too short";
+  (* forward sweep *)
   if diag.(0) = 0.0 then invalid_arg "Tridiag.solve: zero pivot";
-  if n > 1 then c'.(0) <- upper.(0) /. diag.(0);
-  d'.(0) <- rhs.(0) /. diag.(0);
+  if n > 1 then cw.(0) <- upper.(0) /. diag.(0);
+  dw.(0) <- rhs.(0) /. diag.(0);
   for i = 1 to n - 1 do
-    let m = diag.(i) -. (lower.(i - 1) *. c'.(i - 1)) in
+    let m = diag.(i) -. (lower.(i - 1) *. cw.(i - 1)) in
     if m = 0.0 then invalid_arg "Tridiag.solve: zero pivot";
-    if i < n - 1 then c'.(i) <- upper.(i) /. m;
-    d'.(i) <- (rhs.(i) -. (lower.(i - 1) *. d'.(i - 1))) /. m
+    if i < n - 1 then cw.(i) <- upper.(i) /. m;
+    dw.(i) <- (rhs.(i) -. (lower.(i - 1) *. dw.(i - 1))) /. m
   done;
   (* back substitution *)
-  let x = Array.make n 0.0 in
-  x.(n - 1) <- d'.(n - 1);
+  out.(n - 1) <- dw.(n - 1);
   for i = n - 2 downto 0 do
-    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
-  done;
-  x
+    out.(i) <- dw.(i) -. (cw.(i) *. out.(i + 1))
+  done
+
+let solve ~lower ~diag ~upper ~rhs =
+  let n = Array.length diag in
+  if n = 0 then invalid_arg "Tridiag.solve: empty system";
+  let cw = Array.make (Stdlib.max 1 (n - 1)) 0.0 in
+  let dw = Array.make n 0.0 in
+  let out = Array.make n 0.0 in
+  solve_into ~lower ~diag ~upper ~rhs ~cw ~dw ~out;
+  out

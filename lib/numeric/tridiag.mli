@@ -13,3 +13,15 @@ val solve :
     diagonally dominant systems produced by diffusion stencils.
     @raise Invalid_argument on inconsistent lengths, [n = 0], or a zero
     pivot. *)
+
+val solve_into :
+  lower:float array -> diag:float array -> upper:float array ->
+  rhs:float array -> cw:float array -> dw:float array ->
+  out:float array -> unit
+(** Allocation-free variant: the Thomas sweeps run in caller-provided
+    scratch ([cw] length >= [max 1 (n-1)], [dw] length >= [n]) and the
+    solution is written to [out] (length >= [n]).  [out] may not alias
+    the inputs.  Identical operation order to {!solve} — the two return
+    bit-identical solutions — so the Crank–Nicolson inner loop can go
+    through this without perturbing results.
+    @raise Invalid_argument as {!solve}, or on short scratch. *)

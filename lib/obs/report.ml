@@ -22,12 +22,16 @@ let by_phase spans =
 let add_counters buf (c : Probe.t) =
   Buffer.add_string buf "counters\n";
   List.iter
-    (fun (name, get) -> Printf.bprintf buf "  %-16s %12d\n" name (get c))
+    (fun (name, get) -> Printf.bprintf buf "  %-18s %12d\n" name (get c))
     Probe.fields;
+  (* open-keyed counters, e.g. per-model delta fallback attribution *)
+  List.iter
+    (fun (name, v) -> Printf.bprintf buf "  %-28s %12d\n" name v)
+    (Probe.named_counts c);
   let derived label = function
     | None -> ()
     | Some (p, total) ->
-        Printf.bprintf buf "  %-16s %11.1f%%  (%d lookups)\n" label p total
+        Printf.bprintf buf "  %-18s %11.1f%%  (%d lookups)\n" label p total
   in
   derived "fmemo hit rate" (pct c.Probe.fmemo_hits c.Probe.fmemo_misses);
   derived "contrib hit rate" (pct c.Probe.contrib_hits c.Probe.contrib_misses);

@@ -81,29 +81,34 @@ cut off after the counters):
 
   $ basched pipe.btg --deadline 15 --stats | sed -n '/^counters/,/contrib hit rate/p'
   counters
-    sigma_evals                 7
-    fmemo_hits                  5
-    fmemo_misses                7
-    contrib_hits               15
-    contrib_misses              6
-    dpf_steps                   6
-    window_evals                4
-    choose_calls                4
-    iterations                  2
-    anneal_accepted             0
-    anneal_rejected             0
-    anneal_noops                0
-    delta_swaps                 0
-    delta_repoints              0
-    delta_commits               0
-    delta_discards              0
-    delta_terms                 0
-    delta_full_evals            0
-    fcache_evictions            0
-    pool_regions                0
-    pool_tasks                  4
-    fmemo hit rate          41.7%  (12 lookups)
-    contrib hit rate        71.4%  (21 lookups)
+    sigma_evals                   7
+    fmemo_hits                    5
+    fmemo_misses                  7
+    contrib_hits                 15
+    contrib_misses                6
+    dpf_steps                     6
+    window_evals                  4
+    choose_calls                  4
+    iterations                    2
+    anneal_accepted               0
+    anneal_rejected               0
+    anneal_noops                  0
+    delta_swaps                   0
+    delta_repoints                0
+    delta_commits                 0
+    delta_discards                0
+    delta_terms                   0
+    delta_full_evals              0
+    batch_evals                   0
+    batch_candidates              0
+    batch_fallbacks               0
+    delta_ck_advances             0
+    delta_ck_restores             0
+    fcache_evictions              0
+    pool_regions                  0
+    pool_tasks                    4
+    fmemo hit rate            41.7%  (12 lookups)
+    contrib hit rate          71.4%  (21 lookups)
 
 --trace writes a Chrome trace-event file: 2 iteration spans plus a
 window and a choose span per window evaluation, and per-track metadata:

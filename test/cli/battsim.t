@@ -28,7 +28,7 @@ counted model call under one top-level span:
 
   $ battsim sigma --load 500:10 --stats | sed -n '/^counters/,/sigma_evals/p'
   counters
-    sigma_evals                 1
+    sigma_evals                   1
   $ battsim sigma --load 500:10 --trace t.json | tail -1
   wrote trace to t.json
   $ grep -c '"name":"sigma"' t.json

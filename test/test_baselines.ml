@@ -239,6 +239,86 @@ let test_annealing_noop_skip () =
   Alcotest.(check bool) "noop repoints skipped and counted" true
     ((Probe.totals ()).Probe.anneal_noops - c0 > 0)
 
+let test_annealing_delta_matches_reference_other_models () =
+  (* the same exact-replay contract under the other delta strategies:
+     kibam walks on its closed-form incremental decomposition,
+     diffusion on the checkpointed PDE stepper — both must retrace the
+     full-evaluation walk move for move *)
+  let models =
+    [ ("kibam", Batsched_battery.Kibam.model ());
+      ( "diffusion",
+        Batsched_battery.Diffusion.model
+          ~params:
+            (Batsched_battery.Diffusion.make_params ~nodes:8 ~dt:1.0
+               ~alpha:40375.0 ~beta:0.273 ())
+          () ) ]
+  in
+  let rng = Batsched_numeric.Rng.create 31 in
+  let fj =
+    Generators.fork_join ~rng ~spec:Generators.default_spec ~widths:[ 4; 3 ]
+  in
+  let fj_deadline = Generators.feasible_deadline fj ~slack:0.5 in
+  List.iter
+    (fun (mname, model) ->
+      let check name g ~deadline seed =
+        let run eval =
+          Annealing.run ~eval
+            ~rng:(Batsched_numeric.Rng.create seed)
+            ~model g ~deadline
+        in
+        solutions_agree
+          (Printf.sprintf "%s %s seed %d" mname name seed)
+          (run `Delta) (run `Reference)
+      in
+      let g = diamond () in
+      List.iter
+        (fun seed -> check "diamond" g ~deadline:20.0 seed)
+        [ 7; 99; 2024 ];
+      check "fork-join" fj ~deadline:fj_deadline 13)
+    models
+
+let test_population_feasible_and_deterministic () =
+  let params =
+    { Annealing.default_params with Annealing.steps_per_temperature = 15 }
+  in
+  let g = diamond () in
+  let run () =
+    Annealing.run_population ~params ~pop:4
+      ~rng:(Batsched_numeric.Rng.create 11)
+      ~model g ~deadline:20.0
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "feasible" true (feasible g a ~deadline:20.0);
+  solutions_agree "repeat run" a b;
+  (* never worse than the shared starting point *)
+  let start = Chowdhury.run ~model g ~deadline:20.0 in
+  Alcotest.(check bool) "not worse than start" true
+    (a.Solution.sigma <= start.Solution.sigma +. 1e-6)
+
+let test_population_pool_invariant () =
+  (* the batched population sweep shards over the pool; the walk and
+     the result must not depend on the shard count *)
+  let rng = Batsched_numeric.Rng.create 31 in
+  let fj =
+    Generators.fork_join ~rng ~spec:Generators.default_spec ~widths:[ 4; 3 ]
+  in
+  let deadline = Generators.feasible_deadline fj ~slack:0.5 in
+  let run pool =
+    Annealing.run_population ~pop:4 ?pool
+      ~rng:(Batsched_numeric.Rng.create 5)
+      ~model fj ~deadline
+  in
+  solutions_agree "pool 1 vs 4" (run None)
+    (run (Some (Batsched_numeric.Pool.create 4)))
+
+let test_population_validation () =
+  Alcotest.check_raises "pop < 1"
+    (Invalid_argument "Annealing.run_population: pop < 1") (fun () ->
+      ignore
+        (Annealing.run_population ~pop:0
+           ~rng:(Batsched_numeric.Rng.create 1)
+           ~model (diamond ()) ~deadline:20.0))
+
 let test_random_search_delta_matches_reference () =
   let g = diamond () in
   let run eval =
@@ -442,7 +522,11 @@ let () =
           Alcotest.test_case "param validation" `Quick test_annealing_param_validation;
           Alcotest.test_case "infeasible raises" `Quick test_annealing_infeasible_raises;
           Alcotest.test_case "delta matches reference" `Quick test_annealing_delta_matches_reference;
-          Alcotest.test_case "noop repoints skipped" `Quick test_annealing_noop_skip ] );
+          Alcotest.test_case "delta matches reference (kibam, diffusion)" `Quick test_annealing_delta_matches_reference_other_models;
+          Alcotest.test_case "noop repoints skipped" `Quick test_annealing_noop_skip;
+          Alcotest.test_case "population feasible, deterministic" `Quick test_population_feasible_and_deterministic;
+          Alcotest.test_case "population pool invariant" `Quick test_population_pool_invariant;
+          Alcotest.test_case "population validation" `Quick test_population_validation ] );
       ( "exhaustive",
         [ Alcotest.test_case "lower bound" `Quick test_exhaustive_beats_or_ties_everything;
           Alcotest.test_case "too-large guard" `Quick test_exhaustive_too_large_guard;

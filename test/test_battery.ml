@@ -250,6 +250,28 @@ let test_kibam_step_validation () =
     (Invalid_argument "Kibam.step: negative current") (fun () ->
       ignore (Kibam.step kp (Kibam.full kp) ~current:(-1.0) ~duration:1.0))
 
+let test_kibam_zero_duration_step_identity () =
+  (* a zero-length interval returns the input state unchanged —
+     bit-for-bit, not merely to round-off — so degenerate intervals
+     (same-column repoints, zero-duration design points) accumulate no
+     drift no matter how many times they are stepped *)
+  let st = Kibam.step kp (Kibam.full kp) ~current:650.0 ~duration:7.3 in
+  let st' = ref st in
+  for _ = 1 to 1000 do
+    st' := Kibam.step kp !st' ~current:800.0 ~duration:0.0
+  done;
+  Alcotest.(check bool) "available bit-identical" true
+    (Float.equal (!st').Kibam.available st.Kibam.available);
+  Alcotest.(check bool) "bound bit-identical" true
+    (Float.equal (!st').Kibam.bound st.Kibam.bound);
+  (* state_at through a profile with the same load reaches the same
+     place whether or not degenerate intervals are present, because
+     the profile layer drops them and step ignores them *)
+  let a = Kibam.state_at kp (Profile.sequential [ (650.0, 7.3) ]) ~at:7.3 in
+  Alcotest.(check bool) "state_at agrees" true
+    (Float.equal a.Kibam.available st.Kibam.available
+    && Float.equal a.Kibam.bound st.Kibam.bound)
+
 (* --- Lifetime --- *)
 
 let test_lifetime_survives_light_load () =
@@ -745,10 +767,24 @@ let test_delta_of_profile_rejects_gaps () =
   check_against_full rv (Delta.of_profile rv ok) base_points
 
 let test_delta_fallback_counts_full_evals () =
-  (* kibam has no incremental decomposition: every candidate costs a
-     full profile evaluation, and the probe records it *)
-  let model = Kibam.model () in
-  let c0 = (Probe.totals ()).Probe.delta_full_evals in
+  (* a deliberately opaque model — no incremental terms, no stepper, no
+     batch kernel — forces the counted full-profile fallback; the probe
+     books each one both in the flat field and under the model's name
+     in the open-keyed counters (kibam itself no longer falls back: it
+     has a closed-form incremental decomposition) *)
+  let model =
+    { Model.name = "opaque";
+      sigma = (fun p ~at -> Kibam.sigma p ~at);
+      incremental = None;
+      stepper = None;
+      batch = None }
+  in
+  let named c =
+    match List.assoc_opt "delta_full_evals/opaque" (Probe.named_counts c) with
+    | Some v -> v
+    | None -> 0
+  in
+  let c0 = Probe.totals () in
   let d = delta_of model base_points in
   ignore (Delta.try_swap d 1);
   Delta.discard d;
@@ -756,8 +792,55 @@ let test_delta_fallback_counts_full_evals () =
   ignore (Delta.try_set d 0 ~current:50.0 ~duration:2.0);
   Delta.commit d;
   check_against_full model d (set_list base_points 0 (50.0, 2.0));
-  let evals = (Probe.totals ()).Probe.delta_full_evals - c0 in
-  Alcotest.(check bool) "full evals counted" true (evals >= 3)
+  let c1 = Probe.totals () in
+  let evals = c1.Probe.delta_full_evals - c0.Probe.delta_full_evals in
+  Alcotest.(check bool) "full evals counted" true (evals >= 3);
+  Alcotest.(check int) "attributed to the model by name" evals
+    (named c1 - named c0)
+
+let test_delta_kibam_incremental_no_fallback () =
+  (* the closed-form decomposition keeps kibam off the fallback path
+     entirely: a burst of swap/set candidates costs zero full evals *)
+  let model = Kibam.model () in
+  let c0 = (Probe.totals ()).Probe.delta_full_evals in
+  let d = delta_of model base_points in
+  ignore (Delta.try_swap d 1);
+  Delta.commit d;
+  ignore (Delta.try_set d 0 ~current:50.0 ~duration:2.0);
+  Delta.commit d;
+  ignore (Delta.try_swap d 2);
+  Delta.discard d;
+  check_against_full model d
+    (set_list (swap_list base_points 1) 0 (50.0, 2.0));
+  Alcotest.(check int) "no full evals" c0
+    (Probe.totals ()).Probe.delta_full_evals
+
+let coarse_diffusion =
+  (* 8 nodes, 1-minute steps: the checkpointing logic under test is
+     grid-independent, and the default grid would dominate test time *)
+  Diffusion.model
+    ~params:(Diffusion.make_params ~nodes:8 ~dt:1.0 ~alpha:40375.0 ~beta:0.273 ())
+    ()
+
+let test_delta_checkpoint_counters () =
+  (* a stepper-only model goes through the checkpoint path: candidates
+     restore a snapshot and re-advance the suffix, and commits
+     invalidate downstream snapshots — all visible in the probe *)
+  let c0 = Probe.totals () in
+  let points = List.init 16 (fun i -> (100.0 +. (10.0 *. float_of_int i), 1.5)) in
+  let d = delta_of coarse_diffusion points in
+  ignore (Delta.try_swap d 9);
+  Delta.discard d;
+  ignore (Delta.try_swap d 9);
+  Delta.commit d;
+  check_against_full coarse_diffusion d (swap_list points 9);
+  let c1 = Probe.totals () in
+  Alcotest.(check bool) "restores counted" true
+    (c1.Probe.delta_ck_restores > c0.Probe.delta_ck_restores);
+  Alcotest.(check bool) "advances counted" true
+    (c1.Probe.delta_ck_advances > c0.Probe.delta_ck_advances);
+  Alcotest.(check int) "no uncounted fallback" c0.Probe.delta_full_evals
+    c1.Probe.delta_full_evals
 
 let test_delta_swap_term_evals_constant () =
   (* the headline O(1) claim: a swap costs at most 2 term evaluations
@@ -822,14 +905,92 @@ let delta_tests =
     Alcotest.test_case "pending protocol" `Quick test_delta_pending_protocol;
     Alcotest.test_case "of_profile rejects gaps" `Quick test_delta_of_profile_rejects_gaps;
     Alcotest.test_case "fallback counts full evals" `Quick test_delta_fallback_counts_full_evals;
+    Alcotest.test_case "kibam incremental, no fallback" `Quick test_delta_kibam_incremental_no_fallback;
+    Alcotest.test_case "checkpoint counters" `Quick test_delta_checkpoint_counters;
     Alcotest.test_case "O(1) swap term evals" `Quick test_delta_swap_term_evals_constant;
     Alcotest.test_case "suffix cache across makespans" `Quick test_delta_suffix_cache_across_makespans;
     Alcotest.test_case "refresh after many commits" `Quick test_delta_refresh_noop ]
 
+(* --- Sigma_batch: structure-of-arrays population evaluation --- *)
+
+let test_sigma_batch_single_row_matches_full () =
+  let b = Sigma_batch.create rv in
+  let pts = Array.of_list base_points in
+  let n = Array.length pts in
+  Sigma_batch.eval b ~pop:1 ~n
+    ~current:(fun _ k -> fst pts.(k))
+    ~duration:(fun _ k -> snd pts.(k));
+  let want_sigma, want_finish = full_eval rv base_points in
+  check_rel "sigma" want_sigma (Sigma_batch.sigma b 0);
+  check_rel "finish" want_finish (Sigma_batch.finish b 0);
+  Alcotest.(check int) "pop" 1 (Sigma_batch.pop b);
+  Alcotest.(check int) "width" n (Sigma_batch.width b);
+  (* reuse with a wider block: the arrays regrow, every row agrees *)
+  Sigma_batch.eval b ~pop:5 ~n
+    ~current:(fun _ k -> fst pts.(k))
+    ~duration:(fun _ k -> snd pts.(k));
+  for p = 0 to 4 do
+    check_rel "row sigma" want_sigma (Sigma_batch.sigma b p)
+  done
+
+let test_sigma_batch_validation () =
+  let b = Sigma_batch.create rv in
+  Alcotest.check_raises "negative current"
+    (Invalid_argument "Sigma_batch.eval: negative current") (fun () ->
+      Sigma_batch.eval b ~pop:1 ~n:1
+        ~current:(fun _ _ -> -1.0)
+        ~duration:(fun _ _ -> 1.0));
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Sigma_batch.eval: negative duration") (fun () ->
+      Sigma_batch.eval b ~pop:1 ~n:1
+        ~current:(fun _ _ -> 1.0)
+        ~duration:(fun _ _ -> -1.0));
+  Alcotest.check_raises "non-finite"
+    (Invalid_argument "Sigma_batch.eval: non-finite interval field")
+    (fun () ->
+      Sigma_batch.eval b ~pop:1 ~n:1
+        ~current:(fun _ _ -> Float.nan)
+        ~duration:(fun _ _ -> 1.0));
+  Sigma_batch.eval b ~pop:2 ~n:1
+    ~current:(fun _ _ -> 1.0)
+    ~duration:(fun _ _ -> 1.0);
+  Alcotest.check_raises "sigma out of range"
+    (Invalid_argument "Sigma_batch.sigma: out of range") (fun () ->
+      ignore (Sigma_batch.sigma b 2));
+  Alcotest.check_raises "finish out of range"
+    (Invalid_argument "Sigma_batch.finish: out of range") (fun () ->
+      ignore (Sigma_batch.finish b (-1)))
+
+let test_sigma_batch_counters () =
+  (* kernel models book candidates, kernel-less models book fallbacks *)
+  let run model =
+    let b = Sigma_batch.create model in
+    Sigma_batch.eval b ~pop:3 ~n:2
+      ~current:(fun _ _ -> 100.0)
+      ~duration:(fun _ _ -> 1.0)
+  in
+  let c0 = Probe.totals () in
+  run rv;
+  let c1 = Probe.totals () in
+  Alcotest.(check int) "eval counted" 1 (c1.Probe.batch_evals - c0.Probe.batch_evals);
+  Alcotest.(check int) "kernel candidates" 3
+    (c1.Probe.batch_candidates - c0.Probe.batch_candidates);
+  run coarse_diffusion;
+  let c2 = Probe.totals () in
+  Alcotest.(check int) "fallback candidates" 3
+    (c2.Probe.batch_fallbacks - c1.Probe.batch_fallbacks)
+
+let sigma_batch_tests =
+  [ Alcotest.test_case "single row matches full" `Quick test_sigma_batch_single_row_matches_full;
+    Alcotest.test_case "validation" `Quick test_sigma_batch_validation;
+    Alcotest.test_case "work counters" `Quick test_sigma_batch_counters ]
+
 (* Random interval lists driven through random move traces: committed
-   sigma/finish track the full evaluation of the mirrored list. *)
-let prop_delta_traces_match_full =
-  QCheck.Test.make ~count:200 ~name:"delta random move traces match full eval"
+   sigma/finish track the full evaluation of the mirrored list.  One
+   instance per delta strategy — incremental terms (Rakhmatov, KiBaM)
+   and the checkpointed stepper (diffusion). *)
+let prop_delta_traces ~count ~name model =
+  QCheck.Test.make ~count ~name
     QCheck.(pair (int_bound 100_000) (int_range 1 12))
     (fun (seed, n) ->
       let rng = Batsched_numeric.Rng.create seed in
@@ -843,7 +1004,7 @@ let prop_delta_traces_match_full =
         (current, duration)
       in
       let points = ref (List.init n (fun _ -> point ())) in
-      let d = delta_of rv !points in
+      let d = delta_of model !points in
       for _ = 1 to 40 do
         let commit_it = Batsched_numeric.Rng.int rng 4 > 0 in
         if n >= 2 && Batsched_numeric.Rng.bool rng then begin
@@ -866,14 +1027,77 @@ let prop_delta_traces_match_full =
           else Delta.discard d
         end
       done;
-      let sigma, finish = full_eval rv !points in
+      let sigma, finish = full_eval model !points in
       Float.abs (Delta.sigma d -. sigma) <= 1e-9 *. (1.0 +. Float.abs sigma)
       && Float.abs (Delta.finish d -. finish)
          <= 1e-9 *. (1.0 +. Float.abs finish))
 
+let prop_delta_traces_match_full =
+  prop_delta_traces ~count:200 ~name:"delta random move traces match full eval"
+    rv
+
+let prop_delta_traces_kibam =
+  prop_delta_traces ~count:500
+    ~name:"kibam delta traces match full eval (incremental)" (Kibam.model ())
+
+let prop_delta_traces_diffusion =
+  prop_delta_traces ~count:500
+    ~name:"diffusion delta traces match full eval (checkpointed)"
+    coarse_diffusion
+
+(* Sigma_batch agrees with per-row sequential evaluation for every
+   model — kernel (ideal/peukert/rakhmatov/kibam) and fallback
+   (diffusion) — and is invariant under pool sharding. *)
+let prop_sigma_batch_matches_sequential =
+  let pool4 = Batsched_numeric.Pool.create 4 in
+  QCheck.Test.make ~count:100
+    ~name:"sigma batch matches per-row sequential eval"
+    QCheck.(pair (int_bound 100_000) (int_range 1 4))
+    (fun (seed, pop) ->
+      let rng = Batsched_numeric.Rng.create seed in
+      let n = 1 + Batsched_numeric.Rng.int rng 10 in
+      let currents =
+        Array.init (pop * n) (fun _ ->
+            10.0 +. Batsched_numeric.Rng.float rng 800.0)
+      in
+      let durations =
+        Array.init (pop * n) (fun _ ->
+            if Batsched_numeric.Rng.int rng 5 = 0 then 0.0
+            else 0.1 +. Batsched_numeric.Rng.float rng 8.0)
+      in
+      List.for_all
+        (fun model ->
+          let want =
+            Array.init pop (fun p ->
+                let profile =
+                  Profile.sequential_fn ~n (fun k ->
+                      (currents.((p * n) + k), durations.((p * n) + k)))
+                in
+                (Model.sigma_end model profile, Profile.length profile))
+          in
+          List.for_all
+            (fun pool ->
+              let b = Sigma_batch.create ?pool model in
+              Sigma_batch.eval b ~pop ~n
+                ~current:(fun p k -> currents.((p * n) + k))
+                ~duration:(fun p k -> durations.((p * n) + k));
+              List.for_all
+                (fun p ->
+                  let ws, wf = want.(p) in
+                  Float.abs (Sigma_batch.sigma b p -. ws)
+                  <= 1e-9 *. (1.0 +. Float.abs ws)
+                  && Float.abs (Sigma_batch.finish b p -. wf)
+                     <= 1e-9 *. (1.0 +. Float.abs wf))
+                (List.init pop Fun.id))
+            [ None; Some pool4 ])
+        [ rv; Ideal.model; Peukert.model (); Kibam.model (); coarse_diffusion ])
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_delta_traces_match_full;
+      prop_delta_traces_kibam;
+      prop_delta_traces_diffusion;
+      prop_sigma_batch_matches_sequential;
       prop_sigma_monotone_in_time;
       prop_sigma_at_least_ideal_at_end;
       prop_decreasing_order_never_worse;
@@ -929,8 +1153,10 @@ let () =
           Alcotest.test_case "lifetime monotone in load" `Quick test_kibam_lifetime_decreases_with_load;
           Alcotest.test_case "delivers less at high rate" `Quick test_kibam_delivers_less_at_high_rate;
           Alcotest.test_case "param validation" `Quick test_kibam_param_validation;
-          Alcotest.test_case "step validation" `Quick test_kibam_step_validation ] );
+          Alcotest.test_case "step validation" `Quick test_kibam_step_validation;
+          Alcotest.test_case "zero-duration step identity" `Quick test_kibam_zero_duration_step_identity ] );
       ("delta", delta_tests);
+      ("sigma_batch", sigma_batch_tests);
       ( "lifetime",
         [ Alcotest.test_case "survives light load" `Quick test_lifetime_survives_light_load;
           Alcotest.test_case "dies under heavy load" `Quick test_lifetime_dies_under_heavy_load;

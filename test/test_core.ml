@@ -471,7 +471,60 @@ let test_multistart_validation () =
     (fun () ->
       ignore
         (Batsched.Iterate.run_multistart ~rng:(Batsched_numeric.Rng.create 1)
-           ~starts:0 cfg g))
+           ~starts:0 cfg g));
+  Alcotest.check_raises "screen"
+    (Invalid_argument "Iterate.run_multistart: screen < starts - 1") (fun () ->
+      ignore
+        (Batsched.Iterate.run_multistart ~rng:(Batsched_numeric.Rng.create 1)
+           ~starts:4 ~screen:2 cfg g))
+
+let test_multistart_screen_deterministic_and_feasible () =
+  let g = Instances.g2 in
+  let deadline = List.hd Instances.g2_deadlines in
+  let cfg = Batsched.Config.make ~deadline () in
+  let run () =
+    Batsched.Iterate.run_multistart
+      ~rng:(Batsched_numeric.Rng.create 7)
+      ~starts:3 ~screen:8 cfg g
+  in
+  let a = run () and b = run () in
+  check_float "deterministic" a.Batsched.Iterate.sigma b.Batsched.Iterate.sigma;
+  Alcotest.(check bool) "meets deadline" true
+    (a.Batsched.Iterate.finish <= deadline +. 1e-9);
+  (* the screen only reorders/filters the random seeds; the greedy seed
+     always runs, so the screened result can never lose to single-start *)
+  let single = (Batsched.Iterate.run cfg g).Batsched.Iterate.sigma in
+  Alcotest.(check bool) "no worse than single" true
+    (a.Batsched.Iterate.sigma <= single +. 1e-9)
+
+let test_multistart_screen_pool_invariant () =
+  (* screening ranks by (sigma, draw index) with a deterministic batch
+     sweep, so the screened seed choice — and the final result — is
+     bit-identical at any pool size *)
+  let g = Instances.g2 in
+  let run pool =
+    Batsched.Iterate.run_multistart
+      ~rng:(Batsched_numeric.Rng.create 11)
+      ~starts:3 ~screen:10
+      (Batsched.Config.make ?pool ~deadline:(List.hd Instances.g2_deadlines) ())
+      g
+  in
+  let a = run None and b = run (Some (Batsched_numeric.Pool.create 4)) in
+  Alcotest.(check (list int)) "sequence"
+    a.Batsched.Iterate.schedule.Schedule.sequence
+    b.Batsched.Iterate.schedule.Schedule.sequence;
+  check_float "sigma" a.Batsched.Iterate.sigma b.Batsched.Iterate.sigma
+
+let test_multistart_screen_one_start_draws_nothing () =
+  (* starts = 1 skips the screen entirely: the rng is untouched, so a
+     draw made afterwards matches a fresh stream *)
+  let g = diamond () in
+  let cfg = Batsched.Config.make ~deadline:20.0 () in
+  let rng = Batsched_numeric.Rng.create 3 in
+  ignore (Batsched.Iterate.run_multistart ~rng ~starts:1 ~screen:5 cfg g);
+  Alcotest.(check int) "rng untouched"
+    (Batsched_numeric.Rng.int (Batsched_numeric.Rng.create 3) 1_000_000)
+    (Batsched_numeric.Rng.int rng 1_000_000)
 
 (* --- Idle (peak shaving) --- *)
 
@@ -822,7 +875,10 @@ let () =
       ( "multistart",
         [ Alcotest.test_case "never worse" `Quick test_multistart_never_worse_than_single;
           Alcotest.test_case "one start equals run" `Quick test_multistart_one_start_equals_run;
-          Alcotest.test_case "validation" `Quick test_multistart_validation ] );
+          Alcotest.test_case "validation" `Quick test_multistart_validation;
+          Alcotest.test_case "screen deterministic, feasible" `Quick test_multistart_screen_deterministic_and_feasible;
+          Alcotest.test_case "screen pool invariant" `Quick test_multistart_screen_pool_invariant;
+          Alcotest.test_case "screen skipped at one start" `Quick test_multistart_screen_one_start_draws_nothing ] );
       ( "parallel",
         [ Alcotest.test_case "window evaluate identical" `Quick
             test_parallel_window_evaluate_identical;
