@@ -2,7 +2,12 @@
 
    Usage: basched FILE --deadline D [--algo iterative|dp-energy|chowdhury|
           annealing|random] [--beta B] [--seed N] [--iterations]
-          [--stats] [--trace OUT.json] [--dot OUT] *)
+          [--stats] [--trace OUT.json] [--events OUT.jsonl]
+          [--metrics OUT.prom] [--dot OUT]
+          basched report EVENTS.jsonl
+
+   Environment: BATSCHED_LOG=debug|info|warn|error sets the log level,
+   BATSCHED_STATS=1 implies --stats — both for cram tests and CI. *)
 
 open Cmdliner
 open Batsched_taskgraph
@@ -50,14 +55,19 @@ let load_graph path =
   else (Textio.of_string text, None)
 
 let run_file path deadline algo beta seed iterations chart polish verbose
-    stats trace_out dot_out =
+    stats trace_out events_out metrics_out dot_out =
+  Batsched_obs.Log.init_from_env ();
   if verbose then Batsched_obs.Log.set_level Batsched_obs.Log.Debug;
+  let stats = stats || Batsched_obs.Log.env_stats () in
   (* Work counters are always on; an active sink additionally records
      phase span timers for --stats and --trace. *)
   let obs =
     if stats || trace_out <> None then Batsched_obs.Sink.create ()
     else Batsched_obs.Sink.noop
   in
+  (* Histograms feed the --stats quantile block and the OpenMetrics
+     exposition; off otherwise (one branch per observation site). *)
+  if stats || metrics_out <> None then Batsched_obs.Histogram.enable ();
   match
     (try Ok (load_graph path) with
     | Textio.Parse_error { line; message }
@@ -89,10 +99,18 @@ let run_file path deadline algo beta seed iterations chart polish verbose
       with
       | Error msg -> Error msg
       | Ok deadline -> (
+      let events =
+        match events_out with
+        | Some out -> Batsched_obs.Events.create out
+        | None -> Batsched_obs.Events.noop
+      in
+      (* closed on every path so the buffered records reach disk *)
+      Fun.protect ~finally:(fun () -> Batsched_obs.Events.close events)
+      @@ fun () ->
       try
         (match algo with
         | "iterative" | "iterative-ms" ->
-            let cfg = Batsched.Config.make ~model ~obs ~deadline () in
+            let cfg = Batsched.Config.make ~model ~obs ~events ~deadline () in
             let result =
               if algo = "iterative-ms" then
                 Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g
@@ -111,7 +129,8 @@ let run_file path deadline algo beta seed iterations chart polish verbose
             report ~chart g outcome.Branch_bound.solution
         | "dp-energy" -> report ~chart g (Dp_energy.run ~model g ~deadline)
         | "chowdhury" -> report ~chart g (Chowdhury.run ~model g ~deadline)
-        | "annealing" -> report ~chart g (Annealing.run ~rng ~model g ~deadline)
+        | "annealing" ->
+            report ~chart g (Annealing.run ~events ~rng ~model g ~deadline)
         | "random" -> report ~chart g (Random_search.run ~rng ~model g ~deadline)
         | a -> failwith ("unknown algorithm: " ^ a));
         if stats then begin
@@ -125,6 +144,17 @@ let run_file path deadline algo beta seed iterations chart polish verbose
               "wrote trace to %s (load it in chrome://tracing or \
                ui.perfetto.dev)\n"
               out
+        | None -> ());
+        (match events_out with
+        | Some out ->
+            Printf.printf
+              "wrote convergence events to %s (render with basched report)\n"
+              out
+        | None -> ());
+        (match metrics_out with
+        | Some out ->
+            Batsched_obs.Openmetrics.write_file out;
+            Printf.printf "wrote OpenMetrics exposition to %s\n" out
         | None -> ());
         Ok ()
       with
@@ -174,6 +204,19 @@ let trace_arg =
            ~doc:"Write a Chrome trace-event JSON file of the run \
                  (chrome://tracing / Perfetto).")
 
+let events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Write a JSONL convergence-event stream (one record per \
+                 anneal level / iteration / trial; see EXPERIMENTS.md for \
+                 the schema).  Render with basched report.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write an OpenMetrics (Prometheus text format) exposition \
+                 of all counters, histograms and GC gauges after the run.")
+
 let chart_arg =
   Arg.(value & flag
        & info [ "chart" ] ~doc:"Draw an ASCII Gantt strip and current chart.")
@@ -191,23 +234,146 @@ let dot_arg =
   Arg.(value & opt (some string) None
        & info [ "dot" ] ~docv:"OUT" ~doc:"Also write a Graphviz rendering.")
 
-let cmd =
-  let doc = "battery-aware task sequencing and design-point assignment" in
-  let term =
-    Term.(
-      const
-        (fun file deadline algo beta seed iterations chart polish verbose
-             stats trace dot ->
-          match
-            run_file file deadline algo beta seed iterations chart polish
-              verbose stats trace dot
-          with
-          | Ok () -> `Ok ()
-          | Error msg -> `Error (false, msg))
-      $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg
-      $ iterations_arg $ chart_arg $ polish_arg $ verbose_arg $ stats_arg
-      $ trace_arg $ dot_arg)
-  in
-  Cmd.v (Cmd.info "basched" ~doc) (Term.ret term)
+(* --- basched report: render an events stream as a summary table --- *)
 
-let () = exit (Cmd.eval cmd)
+module J = Batsched_obs.Json
+
+let num_or_nan name r = Option.value ~default:Float.nan (J.num_field name r)
+
+let int_or_zero name r =
+  match J.num_field name r with Some f -> int_of_float f | None -> 0
+
+let record_kind r = Option.value ~default:"?" (J.str_field "kind" r)
+
+let t_ms r = num_or_nan "t_ns" r /. 1e6
+
+let print_section records kind header line =
+  match List.filter (fun r -> record_kind r = kind) records with
+  | [] -> ()
+  | rows ->
+      print_newline ();
+      print_string header;
+      List.iter line rows
+
+let report_events path =
+  match
+    (try Ok (J.of_jsonl_file path) with
+    | J.Bad_json msg -> Error (path ^ ": " ^ msg)
+    | Sys_error msg -> Error msg)
+  with
+  | Error msg -> Error msg
+  | Ok records ->
+      Printf.printf "%d event records from %s\n" (List.length records) path;
+      let kinds =
+        List.fold_left
+          (fun acc r ->
+            let k = record_kind r in
+            if List.mem_assoc k acc then
+              List.map
+                (fun (k', n) -> if k' = k then (k', n + 1) else (k', n))
+                acc
+            else acc @ [ (k, 1) ])
+          [] records
+      in
+      List.iter (fun (k, n) -> Printf.printf "  %-16s %6d\n" k n) kinds;
+      print_section records "anneal_level"
+        (Printf.sprintf "%8s %6s %12s %8s %8s %14s %14s\n" "t_ms" "level"
+           "temp" "evals" "accept" "cur_energy" "best_sigma")
+        (fun r ->
+          Printf.printf "%8.2f %6d %12.2f %8d %8.3f %14.2f %14.2f\n" (t_ms r)
+            (int_or_zero "level" r) (num_or_nan "temp" r)
+            (int_or_zero "evals" r)
+            (num_or_nan "accept_rate" r)
+            (num_or_nan "cur_energy" r)
+            (num_or_nan "best_sigma" r));
+      print_section records "iteration"
+        (Printf.sprintf "%8s %6s %14s %14s %14s\n" "t_ms" "iter" "window_best"
+           "weighted" "min_sigma")
+        (fun r ->
+          Printf.printf "%8.2f %6d %14.2f %14.2f %14.2f\n" (t_ms r)
+            (int_or_zero "index" r)
+            (num_or_nan "window_best" r)
+            (num_or_nan "weighted_sigma" r)
+            (num_or_nan "min_sigma" r));
+      print_section records "trial"
+        (Printf.sprintf "%8s %6s %14s %10s %6s\n" "t_ms" "trial" "sigma"
+           "finish" "iters")
+        (fun r ->
+          Printf.printf "%8.2f %6d %14.2f %10.2f %6d\n" (t_ms r)
+            (int_or_zero "trial" r) (num_or_nan "sigma" r)
+            (num_or_nan "finish" r)
+            (int_or_zero "iterations" r));
+      print_section records "polish_round"
+        (Printf.sprintf "%8s %6s %14s %9s\n" "t_ms" "round" "cost" "improved")
+        (fun r ->
+          Printf.printf "%8.2f %6d %14.2f %9b\n" (t_ms r)
+            (int_or_zero "round" r) (num_or_nan "cost" r)
+            (match J.bool_field "improved" r with Some b -> b | None -> false));
+      (* the anytime headline: the best sigma at the end of the stream *)
+      let final_best =
+        List.fold_left
+          (fun acc r ->
+            match
+              (J.num_field "best_sigma" r, J.num_field "min_sigma" r)
+            with
+            | Some s, _ | None, Some s -> Some s
+            | None, None -> acc)
+          None records
+      in
+      (match final_best with
+      | Some s -> Printf.printf "\nfinal best sigma: %.2f\n" s
+      | None -> ());
+      Ok ()
+
+let run_term =
+  Term.(
+    const
+      (fun file deadline algo beta seed iterations chart polish verbose stats
+           trace events metrics dot ->
+        match
+          run_file file deadline algo beta seed iterations chart polish
+            verbose stats trace events metrics dot
+        with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg))
+    $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg
+    $ iterations_arg $ chart_arg $ polish_arg $ verbose_arg $ stats_arg
+    $ trace_arg $ events_arg $ metrics_arg $ dot_arg)
+
+let report_cmd =
+  let events_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"EVENTS"
+             ~doc:"JSONL convergence-event stream written by --events.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize a convergence event stream as per-phase tables")
+    Term.(
+      ret
+        (const (fun path ->
+             match report_events path with
+             | Ok () -> `Ok ()
+             | Error msg -> `Error (false, msg))
+        $ events_file_arg))
+
+let run_cmd =
+  let doc =
+    "battery-aware task sequencing and design-point assignment (or: \
+     basched report EVENTS.jsonl to summarize a convergence stream)"
+  in
+  Cmd.v (Cmd.info "basched" ~doc) (Term.ret run_term)
+
+(* Cmdliner groups reserve the first positional for the command name,
+   which would break the historical `basched FILE --deadline D` CLI —
+   so the one subcommand is dispatched by hand. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "report" then begin
+    let argv =
+      Array.append
+        [| Sys.argv.(0) ^ " report" |]
+        (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    in
+    exit (Cmd.eval ~argv report_cmd)
+  end
+  else exit (Cmd.eval run_cmd)

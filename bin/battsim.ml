@@ -23,11 +23,20 @@ let trace_out_arg =
            ~doc:"Write a Chrome trace-event JSON file of the run \
                  (chrome://tracing / Perfetto).")
 
-let with_obs ~label stats trace_out f =
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write an OpenMetrics (Prometheus text format) exposition \
+                 of all counters, histograms and GC gauges.")
+
+let with_obs ~label stats trace_out metrics_out f =
+  Batsched_obs.Log.init_from_env ();
+  let stats = stats || Batsched_obs.Log.env_stats () in
   let obs =
     if stats || trace_out <> None then Batsched_obs.Sink.create ()
     else Batsched_obs.Sink.noop
   in
+  if stats || metrics_out <> None then Batsched_obs.Histogram.enable ();
   let result = Batsched_obs.Sink.with_span obs label f in
   (match result with
   | `Ok () ->
@@ -39,6 +48,11 @@ let with_obs ~label stats trace_out f =
       | Some out ->
           Batsched_obs.Trace.write obs out;
           Printf.printf "wrote trace to %s\n" out
+      | None -> ());
+      (match metrics_out with
+      | Some out ->
+          Batsched_obs.Openmetrics.write_file out;
+          Printf.printf "wrote OpenMetrics exposition to %s\n" out
       | None -> ())
   | _ -> ());
   result
@@ -71,8 +85,8 @@ let model_arg =
            ~doc:"rakhmatov, kibam, peukert, pde or ideal.")
 
 (* lifetime *)
-let lifetime current alpha beta model_name stats trace_out =
-  with_obs ~label:"lifetime" stats trace_out @@ fun () ->
+let lifetime current alpha beta model_name stats trace_out metrics_out =
+  with_obs ~label:"lifetime" stats trace_out metrics_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -96,7 +110,7 @@ let lifetime_cmd =
     Term.(
       ret
         (const lifetime $ current_arg $ alpha_arg $ beta_arg $ model_arg
-         $ stats_arg $ trace_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg))
 
 (* sigma *)
 let parse_load s =
@@ -106,8 +120,8 @@ let parse_load s =
       with Failure _ -> Error ("bad load: " ^ s))
   | _ -> Error ("bad load (want I:D): " ^ s)
 
-let sigma loads beta idle model_name stats trace_out =
-  with_obs ~label:"sigma" stats trace_out @@ fun () ->
+let sigma loads beta idle model_name stats trace_out metrics_out =
+  with_obs ~label:"sigma" stats trace_out metrics_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model -> (
@@ -152,11 +166,11 @@ let sigma_cmd =
     Term.(
       ret
         (const sigma $ loads_arg $ beta_arg $ idle_arg $ model_arg
-         $ stats_arg $ trace_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg))
 
 (* curve *)
-let curve current beta points model_name stats trace_out =
-  with_obs ~label:"curve" stats trace_out @@ fun () ->
+let curve current beta points model_name stats trace_out metrics_out =
+  with_obs ~label:"curve" stats trace_out metrics_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -182,11 +196,12 @@ let curve_cmd =
     Term.(
       ret
         (const curve $ current_arg $ beta_arg $ points_arg $ model_arg
-         $ stats_arg $ trace_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg))
 
 (* cycles: periodic-mission endurance *)
-let cycles current burst period alpha beta model_name stats trace_out =
-  with_obs ~label:"cycles" stats trace_out @@ fun () ->
+let cycles current burst period alpha beta model_name stats trace_out
+    metrics_out =
+  with_obs ~label:"cycles" stats trace_out metrics_out @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -221,7 +236,8 @@ let cycles_cmd =
     Term.(
       ret
         (const cycles $ current_arg $ burst_arg $ period_arg $ alpha_arg
-         $ beta_arg $ model_arg $ stats_arg $ trace_out_arg))
+         $ beta_arg $ model_arg $ stats_arg $ trace_out_arg
+         $ metrics_out_arg))
 
 let main =
   Cmd.group

@@ -1,6 +1,7 @@
 open Batsched_numeric
 open Batsched_taskgraph
 open Batsched_sched
+module Events = Batsched_obs.Events
 
 exception No_feasible_state
 
@@ -101,7 +102,41 @@ let apply_move st = function
       { st with sequence = seq }
   | Move_repoint (i, j) -> { st with assignment = Assignment.set st.assignment i j }
 
-let run_reference ~params ~rng ~model g ~deadline sol =
+(* Convergence records.  Emission reads only the walk's outputs (probe
+   counter deltas, energies, the best sigma) and never touches the RNG,
+   so the event stream cannot perturb the walk — pinned down by the
+   bit-identity property tests.  With events off the hot loop carries
+   no extra bookkeeping: the per-level snapshots below are guarded. *)
+
+let emit_start events ~mode ~n ~m ~params =
+  if Events.is_active events then
+    Events.emit events "anneal_start"
+      [ ("mode", Events.S mode); ("n", Events.I n); ("m", Events.I m);
+        ("t0", Events.F params.initial_temperature);
+        ("cooling", Events.F params.cooling);
+        ("steps_per_temp", Events.I params.steps_per_temperature) ]
+
+let emit_level events ~mode ~level ~temperature ~evals ~lvl_acc ~lvl_rej
+    ~cur_energy ~best_sigma =
+  let attempts = lvl_acc + lvl_rej in
+  let rate =
+    if attempts = 0 then 1.0
+    else float_of_int lvl_acc /. float_of_int attempts
+  in
+  Events.emit events "anneal_level"
+    [ ("mode", Events.S mode); ("level", Events.I level);
+      ("temp", Events.F temperature); ("evals", Events.I evals);
+      ("accepted", Events.I lvl_acc); ("rejected", Events.I lvl_rej);
+      ("accept_rate", Events.F rate); ("cur_energy", Events.F cur_energy);
+      ("best_sigma", Events.F best_sigma) ]
+
+let emit_done events ~mode ~evals ~best_sigma =
+  if Events.is_active events then
+    Events.emit events "anneal_done"
+      [ ("mode", Events.S mode); ("evals", Events.I evals);
+        ("best_sigma", Events.F best_sigma) ]
+
+let run_reference ~params ~rng ~model ~events g ~deadline sol =
   let n = Graph.num_tasks g and m = Graph.num_points g in
   let st =
     ref
@@ -112,7 +147,14 @@ let run_reference ~params ~rng ~model g ~deadline sol =
   let best = ref sol in
   let temperature = ref params.initial_temperature in
   let probe = Probe.local () in
+  let ev_on = Events.is_active events in
+  emit_start events ~mode:"reference" ~n ~m ~params;
+  let acc0 = probe.Probe.anneal_accepted
+  and rej0 = probe.Probe.anneal_rejected in
+  let level = ref 0 in
   while !temperature > params.temperature_floor do
+    let lacc = if ev_on then probe.Probe.anneal_accepted else 0
+    and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for _ = 1 to params.steps_per_temperature do
       let mv = draw_move ~rng ~n ~m ~swap_ok:(fun k -> swap_ok g !st k) in
       match mv with
@@ -139,8 +181,22 @@ let run_reference ~params ~rng ~model g ~deadline sol =
           end
           else probe.Probe.anneal_rejected <- probe.Probe.anneal_rejected + 1
     done;
+    if ev_on then
+      emit_level events ~mode:"reference" ~level:!level
+        ~temperature:!temperature
+        ~evals:
+          (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0
+         - rej0)
+        ~lvl_acc:(probe.Probe.anneal_accepted - lacc)
+        ~lvl_rej:(probe.Probe.anneal_rejected - lrej)
+        ~cur_energy:!cur_energy ~best_sigma:(!best).Solution.sigma;
+    incr level;
     temperature := !temperature *. params.cooling
   done;
+  emit_done events ~mode:"reference"
+    ~evals:
+      (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0 - rej0)
+    ~best_sigma:(!best).Solution.sigma;
   !best
 
 (* Delta mode: the same walk costed through the incremental evaluator —
@@ -149,7 +205,7 @@ let run_reference ~params ~rng ~model g ~deadline sol =
    run) are materialized as schedules, through the full-model
    [Solution.of_schedule], so the reported sigma always comes from the
    oracle path. *)
-let run_delta ~params ~rng ~model g ~deadline sol =
+let run_delta ~params ~rng ~model ~events g ~deadline sol =
   let n = Graph.num_tasks g and m = Graph.num_points g in
   let ev = Eval.make ~model g sol.Solution.schedule in
   let energy sigma finish =
@@ -159,7 +215,14 @@ let run_delta ~params ~rng ~model g ~deadline sol =
   let best = ref sol in
   let temperature = ref params.initial_temperature in
   let probe = Probe.local () in
+  let ev_on = Events.is_active events in
+  emit_start events ~mode:"delta" ~n ~m ~params;
+  let acc0 = probe.Probe.anneal_accepted
+  and rej0 = probe.Probe.anneal_rejected in
+  let level = ref 0 in
   while !temperature > params.temperature_floor do
+    let lacc = if ev_on then probe.Probe.anneal_accepted else 0
+    and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for _ = 1 to params.steps_per_temperature do
       let mv = draw_move ~rng ~n ~m ~swap_ok:(fun k -> Eval.swap_allowed ev k) in
       match mv with
@@ -197,16 +260,30 @@ let run_delta ~params ~rng ~model g ~deadline sol =
             Eval.discard ev
           end
     done;
+    if ev_on then
+      emit_level events ~mode:"delta" ~level:!level ~temperature:!temperature
+        ~evals:
+          (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0
+         - rej0)
+        ~lvl_acc:(probe.Probe.anneal_accepted - lacc)
+        ~lvl_rej:(probe.Probe.anneal_rejected - lrej)
+        ~cur_energy:!cur_energy ~best_sigma:(!best).Solution.sigma;
+    incr level;
     temperature := !temperature *. params.cooling
   done;
+  emit_done events ~mode:"delta"
+    ~evals:
+      (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0 - rej0)
+    ~best_sigma:(!best).Solution.sigma;
   !best
 
-let run ?(params = default_params) ?(eval = `Delta) ~rng ~model g ~deadline =
+let run ?(params = default_params) ?(eval = `Delta)
+    ?(events = Events.noop) ~rng ~model g ~deadline =
   check_params params;
   let sol = start_solution ~model g ~deadline in
   match eval with
-  | `Delta -> run_delta ~params ~rng ~model g ~deadline sol
-  | `Reference -> run_reference ~params ~rng ~model g ~deadline sol
+  | `Delta -> run_delta ~params ~rng ~model ~events g ~deadline sol
+  | `Reference -> run_reference ~params ~rng ~model ~events g ~deadline sol
 
 (* Population mode: [pop] delta-evaluated walkers advance through the
    same cooling ladder, stepped round-robin off one shared RNG (walker
@@ -223,7 +300,8 @@ let run ?(params = default_params) ?(eval = `Delta) ~rng ~model g ~deadline =
    tracking is coarser than {!run}'s per-accept tracking — the
    population trades that for breadth. *)
 let run_population ?(params = default_params) ?(pop = 8)
-    ?(pool = Pool.sequential) ~rng ~model g ~deadline =
+    ?(pool = Pool.sequential) ?(events = Events.noop) ~rng ~model g ~deadline
+    =
   check_params params;
   if pop < 1 then invalid_arg "Annealing.run_population: pop < 1";
   let sol0 = start_solution ~model g ~deadline in
@@ -241,7 +319,14 @@ let run_population ?(params = default_params) ?(pop = 8)
   let best = ref sol0 in
   let temperature = ref params.initial_temperature in
   let probe = Probe.local () in
+  let ev_on = Events.is_active events in
+  emit_start events ~mode:"population" ~n ~m ~params;
+  let acc0 = probe.Probe.anneal_accepted
+  and rej0 = probe.Probe.anneal_rejected in
+  let level = ref 0 in
   while !temperature > params.temperature_floor do
+    let lacc = if ev_on then probe.Probe.anneal_accepted else 0
+    and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for w = 0 to pop - 1 do
       let ev = walkers.(w) in
       let ce = ref cur_energy.(w) in
@@ -302,10 +387,31 @@ let run_population ?(params = default_params) ?(pop = 8)
       in
       if sol.Solution.sigma < !best.Solution.sigma then best := sol
     end;
+    if ev_on then begin
+      (* emitted before the reseed below so worst_energy reflects the
+         population spread this level actually produced *)
+      emit_level events ~mode:"population" ~level:!level
+        ~temperature:!temperature
+        ~evals:
+          (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0
+         - rej0)
+        ~lvl_acc:(probe.Probe.anneal_accepted - lacc)
+        ~lvl_rej:(probe.Probe.anneal_rejected - lrej)
+        ~cur_energy:cur_energy.(!bi) ~best_sigma:(!best).Solution.sigma;
+      Events.emit events "anneal_pop_spread"
+        [ ("level", Events.I !level);
+          ("best_energy", Events.F cur_energy.(!bi));
+          ("worst_energy", Events.F cur_energy.(!wi)) ]
+    end;
     if !wi <> !bi then begin
       Eval.load walkers.(!wi) (Eval.to_schedule walkers.(!bi));
       cur_energy.(!wi) <- cur_energy.(!bi)
     end;
+    incr level;
     temperature := !temperature *. params.cooling
   done;
+  emit_done events ~mode:"population"
+    ~evals:
+      (probe.Probe.anneal_accepted + probe.Probe.anneal_rejected - acc0 - rej0)
+    ~best_sigma:(!best).Solution.sigma;
   !best

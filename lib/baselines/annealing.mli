@@ -28,9 +28,17 @@ val default_params : params
 
 val run :
   ?params:params -> ?eval:[ `Delta | `Reference ] ->
+  ?events:Batsched_obs.Events.t ->
   rng:Batsched_numeric.Rng.t -> model:Model.t ->
   Graph.t -> deadline:float -> Solution.t
 (** Anneal from the Chowdhury starting point.
+
+    [events] (default noop) receives convergence records: one
+    [anneal_start], one [anneal_level] per temperature level (with the
+    level's acceptance window, the current energy and the best sigma so
+    far), and one [anneal_done].  Emission reads only probe-counter
+    deltas and never the RNG, so the walk is bit-identical with any
+    stream.
 
     [eval] selects the candidate-costing path: [`Delta] (default) runs
     the walk on the incremental evaluator ({!Batsched_sched.Eval}) —
@@ -47,6 +55,7 @@ val run :
 
 val run_population :
   ?params:params -> ?pop:int -> ?pool:Batsched_numeric.Pool.t ->
+  ?events:Batsched_obs.Events.t ->
   rng:Batsched_numeric.Rng.t -> model:Model.t ->
   Graph.t -> deadline:float -> Solution.t
 (** Population variant: [pop] (default 8) delta-evaluated walkers share

@@ -571,7 +571,13 @@ let commit t =
   t.pending <- No_move;
   probe.Probe.delta_commits <- probe.Probe.delta_commits + 1;
   t.commits <- t.commits + 1;
-  if t.commits >= resum_every t then resum t
+  if t.commits >= resum_every t then begin
+    (* batch size distribution: commits absorbed between full
+       re-summations (the compensated-sum refresh cadence) *)
+    if !Probe.observing then
+      Probe.observe "delta/commit_batch" (float_of_int t.commits);
+    resum t
+  end
 
 let discard t =
   (match t.pending with

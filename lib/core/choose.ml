@@ -447,6 +447,20 @@ let choose_impl ~incremental (cfg : Config.t) g ~sequence ~window_start =
   Batsched_obs.Sink.with_span cfg.Config.obs "choose" @@ fun () ->
   let probe = Probe.local () in
   probe.Probe.choose_calls <- probe.Probe.choose_calls + 1;
+  (* convergence record per call: attribute the upgrade-loop work
+     (dpf_steps delta) to this window *)
+  let dpf0 =
+    if Batsched_obs.Events.is_active cfg.Config.events then
+      probe.Probe.dpf_steps
+    else 0
+  in
+  Fun.protect ~finally:(fun () ->
+      if Batsched_obs.Events.is_active cfg.Config.events then
+        Batsched_obs.Events.emit cfg.Config.events "choose"
+          [ ("window_start", Batsched_obs.Events.I window_start);
+            ("dpf_steps", Batsched_obs.Events.I (probe.Probe.dpf_steps - dpf0))
+          ])
+  @@ fun () ->
   let seq = Array.of_list sequence in
   let ctx = make_ctx cfg g ~seq ~window_start in
   let n = ctx.n in

@@ -20,14 +20,17 @@ type t = {
   full_window_only : bool;
   pool : Batsched_numeric.Pool.t;
   obs : Batsched_obs.Sink.t;
+  events : Batsched_obs.Events.t;
 }
 
 let make ?model ?(weights = paper_weights) ?(max_iterations = 100)
     ?(full_window_only = false) ?(pool = Batsched_numeric.Pool.sequential)
-    ?(obs = Batsched_obs.Sink.noop) ~deadline () =
+    ?(obs = Batsched_obs.Sink.noop) ?(events = Batsched_obs.Events.noop)
+    ~deadline () =
   if not (deadline > 0.0) then invalid_arg "Config.make: deadline must be positive";
   if max_iterations < 1 then invalid_arg "Config.make: max_iterations < 1";
   let model =
     match model with Some m -> m | None -> Rakhmatov.model ()
   in
-  { model; deadline; weights; max_iterations; full_window_only; pool; obs }
+  { model; deadline; weights; max_iterations; full_window_only; pool; obs;
+    events }

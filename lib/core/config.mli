@@ -42,15 +42,20 @@ type t = {
           into the search: schedules and sigma are bit-identical with
           any sink.  Work counters ({!Batsched_numeric.Probe}) are
           always on and independent of this field. *)
+  events : Batsched_obs.Events.t;
+      (** anytime-event stream for convergence records (default
+          {!Batsched_obs.Events.noop}).  Same non-perturbation
+          guarantee as [obs]: the search never reads it. *)
 }
 
 val make :
   ?model:Model.t -> ?weights:term_weights -> ?max_iterations:int ->
   ?full_window_only:bool -> ?pool:Batsched_numeric.Pool.t ->
-  ?obs:Batsched_obs.Sink.t ->
+  ?obs:Batsched_obs.Sink.t -> ?events:Batsched_obs.Events.t ->
   deadline:float -> unit -> t
 (** [make ~deadline ()] with defaults: Rakhmatov–Vrudhula model with the
     paper's beta, {!paper_weights}, [max_iterations = 100], the full
-    window sweep, a sequential pool, the no-op sink.
+    window sweep, a sequential pool, the no-op sink, the no-op event
+    stream.
     @raise Invalid_argument on non-positive deadline or
     [max_iterations < 1]. *)

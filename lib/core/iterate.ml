@@ -1,6 +1,7 @@
 open Batsched_sched
 module Log = Batsched_obs.Log
 module Sink = Batsched_obs.Sink
+module Events = Batsched_obs.Events
 
 type iteration = {
   index : int;
@@ -76,6 +77,12 @@ let run_from ~on_iteration ~initial (cfg : Config.t) g =
         Printf.sprintf
           "iteration %d: window best %.1f, weighted %.1f, incumbent %.1f"
           index best_w.Window.sigma weighted_sigma incumbent.inc_sigma);
+    if Events.is_active cfg.Config.events then
+      Events.emit cfg.Config.events "iteration"
+        [ ("index", Events.I index);
+          ("window_best", Events.F best_w.Window.sigma);
+          ("weighted_sigma", Events.F weighted_sigma);
+          ("min_sigma", Events.F incumbent.inc_sigma) ];
     on_iteration it;
     (it, incumbent)
   in
@@ -205,18 +212,34 @@ let run_multistart ?(on_iteration = fun _ -> ()) ?screen ~rng ~starts
   let seeds = Priorities.sequence_dec_energy g :: random_seeds in
   let runs =
     Batsched_numeric.Pool.map_list cfg.Config.pool
-      (fun initial ->
+      (fun (trial, initial) ->
         Sink.with_span cfg.Config.obs "start" (fun () ->
-            run_from ~on_iteration ~initial cfg g))
-      seeds
+            let r = run_from ~on_iteration ~initial cfg g in
+            (* per-trial convergence record; [Events.emit] is
+               mutex-protected, so pool workers may emit freely *)
+            if Events.is_active cfg.Config.events then
+              Events.emit cfg.Config.events "trial"
+                [ ("trial", Events.I trial);
+                  ("sigma", Events.F r.sigma);
+                  ("finish", Events.F r.finish);
+                  ("iterations", Events.I (List.length r.iterations)) ];
+            r))
+      (List.mapi (fun i s -> (i, s)) seeds)
   in
   match runs with
   | [] -> assert false
   | first :: rest ->
       (* strict [<] keeps the earlier seed on ties — deterministic and
          independent of evaluation order, hence of the pool size *)
-      List.fold_left (fun acc r -> if r.sigma < acc.sigma then r else acc)
-        first rest
+      let best =
+        List.fold_left (fun acc r -> if r.sigma < acc.sigma then r else acc)
+          first rest
+      in
+      if Events.is_active cfg.Config.events then
+        Events.emit cfg.Config.events "multistart_done"
+          [ ("starts", Events.I (List.length seeds));
+            ("best_sigma", Events.F best.sigma) ];
+      best
 
 let schedule_of_iteration g it =
   let best = it.windows.Window.best in

@@ -1,5 +1,14 @@
 open Batsched_taskgraph
 open Batsched_sched
+module Events = Batsched_obs.Events
+
+(* One convergence record per improvement round; reads only the
+   round's outcome, never feeds back into the sweep. *)
+let emit_round events ~mode ~round ~cost ~improved =
+  if Events.is_active events then
+    Events.emit events "polish_round"
+      [ ("mode", Events.S mode); ("round", Events.I round);
+        ("cost", Events.F cost); ("improved", Events.B improved) ]
 
 let swap_at sequence k =
   (* swap positions k and k+1; None if out of range *)
@@ -57,7 +66,9 @@ let two_swap_reference ~max_rounds (cfg : Config.t) g sched =
             ~assignment:w.Window.assignment;
         best_cost := w.Window.sigma
       end
-    end
+    end;
+    emit_round cfg.Config.events ~mode:"reference" ~round:!rounds
+      ~cost:!best_cost ~improved:!continue
   done;
   !best
 
@@ -96,7 +107,9 @@ let two_swap_delta ~max_rounds (cfg : Config.t) g sched =
              ~assignment:w.Window.assignment);
         best_cost := Eval.sigma ev
       end
-    end
+    end;
+    emit_round cfg.Config.events ~mode:"delta" ~round:!rounds
+      ~cost:!best_cost ~improved:!continue
   done;
   Eval.to_schedule ev
 

@@ -158,19 +158,31 @@ let store t slot value =
   t.fresh <- t.fresh + 1;
   if 2 * t.fresh >= capacity t then advance_generation t
 
+(* Probe-length distribution, recorded on the insert path only.  The
+   lookup path is far too hot to instrument (it runs per contribution
+   lookup); inserts happen once per genuine miss, where one guarded
+   observe call is noise. *)
+let[@inline] observe_probe_len i =
+  if !Probe.observing then
+    Probe.observe "fcache/probe_len" (float_of_int i)
+
 let add_scratch t value =
   let h = hash t in
   let rec probe i victim =
-    if i >= max_probe then
+    if i >= max_probe then begin
       (* window full of live strangers: overwrite the last slot *)
+      observe_probe_len max_probe;
       store t (if victim >= 0 then victim else (h + max_probe - 1) land t.mask)
         value
+    end
     else begin
       let slot = (h + i) land t.mask in
       let stamp = Char.code (Bytes.unsafe_get t.stamps slot) in
-      if stamp = 0 then
+      if stamp = 0 then begin
         (* never-used slot: no live duplicate can sit beyond it *)
+        observe_probe_len (i + 1);
         store t (if victim >= 0 then victim else slot) value
+      end
       else if live t stamp then
         if keys_match t slot then begin
           t.values.(slot) <- value;

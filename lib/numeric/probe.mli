@@ -94,3 +94,27 @@ val named_counts : t -> (string * int) list
 (** The named counters sorted by key (the assoc list itself carries
     keys in first-bump order, which is not stable across pool
     schedules). *)
+
+(** {2 Distribution observations}
+
+    Counters summarize totals; some hot paths additionally want value
+    {e distributions} (Fcache probe lengths, delta commit batch
+    sizes).  They report through this hook, which the observability
+    layer ([Batsched_obs.Histogram]) installs — keeping this library
+    free of an obs dependency.  Sites must guard with [!observing]
+    before calling {!observe}, so the disabled cost is one load and a
+    branch (no float boxing, no call). *)
+
+val observing : bool ref
+(** Whether an observer is installed.  Read, never write. *)
+
+val observe : string -> float -> unit
+(** [observe name v] forwards [v] to the installed observer under the
+    metric [name].  A no-op (after one branch) when no observer is
+    installed. *)
+
+val set_observer : (string -> float -> unit) -> unit
+(** Install the observation consumer and raise {!observing}. *)
+
+val clear_observer : unit -> unit
+(** Remove the consumer and lower {!observing}. *)

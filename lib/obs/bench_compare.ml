@@ -1,0 +1,254 @@
+(* Noise-aware comparison of two bench [--json] snapshots.
+
+   A bare ratio of ns_per_run numbers misclassifies constantly: the
+   bechamel OLS fit can be poor (r_square well below 1 on noisy
+   scenarios), and run-to-run dispersion on shared machines is easily
+   10%.  So every scenario gets its own threshold derived from the fit
+   quality on both sides:
+
+     noise side   = sqrt(max 0 (1 - r_square))   (unexplained variance)
+     dispersion   = |first - final| / final       (from the bench
+                    fit-quality rerun guard, when the row carries it)
+     threshold    = 0.10 + 0.5*(noise_old + noise_new)
+                         + dispersion_old + dispersion_new
+
+   and a verdict: ratio below 1 - threshold is Improved, above
+   1 + threshold is Regressed, else Flat.  Rows whose fit is too poor
+   to trust (r_square < 0.5 on either side, or tagged
+   low_confidence by the rerun guard) are classified Low_confidence
+   and never fail the gate — they warn.
+
+   Two row populations are compared.  (1) Cross-file joins: rows
+   present in both snapshots, matched by name after stripping the
+   bechamel group prefix ("batsched/"), optionally normalized by the
+   median ratio so cross-machine comparisons cancel overall machine
+   speed.  (2) In-file reference pairs of the NEW snapshot: a row
+   named "X-reference/..." paired with its optimized twin
+   "X-delta/..." or "X/..." — a machine-independent speedup check
+   that works even when the old snapshot predates the scenario. *)
+
+type row = {
+  name : string;
+  ns_per_run : float;
+  r_square : float;
+  low_confidence : bool;
+  ns_per_run_first : float option;
+}
+
+type verdict = Improved | Flat | Regressed | Low_confidence
+
+type comparison = {
+  scenario : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;
+  threshold : float;
+  verdict : verdict;
+}
+
+type report = {
+  joined : comparison list;
+  pairs : comparison list;
+  added : string list;
+  removed : string list;
+  norm_factor : float option;
+}
+
+let group_prefix = "batsched/"
+
+let normalize_name name =
+  let pl = String.length group_prefix in
+  if String.length name > pl && String.sub name 0 pl = group_prefix then
+    String.sub name pl (String.length name - pl)
+  else name
+
+let row_of_json j =
+  match (Json.str_field "name" j, Json.num_field "ns_per_run" j) with
+  | Some name, Some ns ->
+      Some
+        { name = normalize_name name;
+          ns_per_run = ns;
+          r_square = Option.value ~default:1.0 (Json.num_field "r_square" j);
+          low_confidence =
+            Option.value ~default:false (Json.bool_field "low_confidence" j);
+          ns_per_run_first = Json.num_field "ns_per_run_first" j }
+  | _ -> None
+
+let rows_of_json j =
+  match Json.field "rows" j with
+  | Some (Json.Arr rows) -> List.filter_map row_of_json rows
+  | _ -> []
+
+let load_file path = rows_of_json (Json.of_file path)
+
+let noise r2 = Float.sqrt (Float.max 0.0 (1.0 -. r2))
+
+let dispersion r =
+  match r.ns_per_run_first with
+  | Some first when r.ns_per_run > 0.0 ->
+      Float.abs (first -. r.ns_per_run) /. r.ns_per_run
+  | _ -> 0.0
+
+let confidence_floor = 0.5
+
+let classify_pair ?(norm = 1.0) ~scenario old_r new_r =
+  let old_ns = old_r.ns_per_run in
+  let new_ns = new_r.ns_per_run in
+  let ratio = if old_ns > 0.0 then new_ns /. norm /. old_ns else Float.nan in
+  let threshold =
+    0.10
+    +. (0.5 *. (noise old_r.r_square +. noise new_r.r_square))
+    +. dispersion old_r +. dispersion new_r
+  in
+  let verdict =
+    if
+      old_r.r_square < confidence_floor
+      || new_r.r_square < confidence_floor
+      || old_r.low_confidence || new_r.low_confidence
+      || not (Float.is_finite ratio)
+    then Low_confidence
+    else if ratio < 1.0 -. threshold then Improved
+    else if ratio > 1.0 +. threshold then Regressed
+    else Flat
+  in
+  { scenario; old_ns; new_ns; ratio; threshold; verdict }
+
+(* "X-reference/rest" pairs with "X-delta/rest" (substituted evaluator)
+   or "X/rest" (the optimization made the suffix redundant). *)
+let reference_twin rows ref_name =
+  let marker = "-reference" in
+  let ml = String.length marker in
+  let rec find_marker i =
+    if i + ml > String.length ref_name then None
+    else if String.sub ref_name i ml = marker then Some i
+    else find_marker (i + 1)
+  in
+  match find_marker 0 with
+  | None -> None
+  | Some i ->
+      let before = String.sub ref_name 0 i in
+      let after =
+        String.sub ref_name (i + ml) (String.length ref_name - i - ml)
+      in
+      let candidates = [ before ^ "-delta" ^ after; before ^ after ] in
+      List.find_opt (fun r -> List.mem r.name candidates) rows
+
+let median xs = Batsched_numeric.Stats.median xs
+
+let compare_rows ?(normalize = false) old_rows new_rows =
+  (* rows from [load_file] arrive normalized; strip the group prefix
+     again so hand-built rows behave the same *)
+  let renorm r = { r with name = normalize_name r.name } in
+  let old_rows = List.map renorm old_rows in
+  let new_rows = List.map renorm new_rows in
+  let find rows name = List.find_opt (fun r -> r.name = name) rows in
+  let joined_names =
+    List.filter_map
+      (fun r -> Option.map (fun _ -> r.name) (find new_rows r.name))
+      old_rows
+  in
+  let norm_factor =
+    if normalize && joined_names <> [] then
+      let ratios =
+        List.filter_map
+          (fun name ->
+            match (find old_rows name, find new_rows name) with
+            | Some o, Some n when o.ns_per_run > 0.0 ->
+                Some (n.ns_per_run /. o.ns_per_run)
+            | _ -> None)
+          joined_names
+      in
+      if ratios = [] then None else Some (median ratios)
+    else None
+  in
+  let norm = Option.value ~default:1.0 norm_factor in
+  let joined =
+    List.filter_map
+      (fun name ->
+        match (find old_rows name, find new_rows name) with
+        | Some o, Some n -> Some (classify_pair ~norm ~scenario:name o n)
+        | _ -> None)
+      joined_names
+  in
+  let pairs =
+    (* [reference_twin] yields None for rows without the marker, so
+       mapping over all new rows visits exactly the reference ones *)
+    List.filter_map
+      (fun r ->
+        match reference_twin new_rows r.name with
+        | Some twin ->
+            Some
+              (classify_pair
+                 ~scenario:(twin.name ^ " (vs " ^ r.name ^ ")")
+                 r twin)
+        | None -> None)
+      new_rows
+  in
+  let added =
+    List.filter_map
+      (fun r -> if find old_rows r.name = None then Some r.name else None)
+      new_rows
+  in
+  let removed =
+    List.filter_map
+      (fun r -> if find new_rows r.name = None then Some r.name else None)
+      old_rows
+  in
+  { joined; pairs; added; removed; norm_factor }
+
+let compare_files ?normalize old_path new_path =
+  compare_rows ?normalize (load_file old_path) (load_file new_path)
+
+let verdict_string = function
+  | Improved -> "improved"
+  | Flat -> "flat"
+  | Regressed -> "REGRESSED"
+  | Low_confidence -> "low-confidence"
+
+let has_confident_regression report =
+  List.exists
+    (fun c -> c.verdict = Regressed)
+    (report.joined @ report.pairs)
+
+let add_section buf title comparisons =
+  if comparisons <> [] then begin
+    Printf.bprintf buf "%s\n" title;
+    let width =
+      List.fold_left
+        (fun acc c -> max acc (String.length c.scenario))
+        (String.length "scenario") comparisons
+    in
+    Printf.bprintf buf "  %-*s %14s %14s %7s %7s  %s\n" width "scenario"
+      "old ns/run" "new ns/run" "ratio" "thresh" "verdict";
+    List.iter
+      (fun c ->
+        Printf.bprintf buf "  %-*s %14.1f %14.1f %7.3f %7.3f  %s\n" width
+          c.scenario c.old_ns c.new_ns c.ratio c.threshold
+          (verdict_string c.verdict))
+      comparisons
+  end
+
+let to_string report =
+  let buf = Buffer.create 2048 in
+  (match report.norm_factor with
+  | Some f ->
+      Printf.bprintf buf
+        "median-ratio normalization: %.4f (machine-speed factor divided out)\n"
+        f
+  | None -> ());
+  add_section buf "joined scenarios (old vs new)" report.joined;
+  add_section buf "in-file reference pairs (new snapshot)" report.pairs;
+  let listing title names =
+    if names <> [] then
+      Printf.bprintf buf "%s: %s\n" title (String.concat ", " names)
+  in
+  listing "added" report.added;
+  listing "removed" report.removed;
+  let count v =
+    List.length
+      (List.filter (fun c -> c.verdict = v) (report.joined @ report.pairs))
+  in
+  Printf.bprintf buf
+    "summary: %d improved, %d flat, %d regressed, %d low-confidence\n"
+    (count Improved) (count Flat) (count Regressed) (count Low_confidence);
+  Buffer.contents buf

@@ -1,0 +1,125 @@
+(* Anytime-event stream: one JSON object per line.
+
+   The searchers are anytime algorithms, so their interesting output is
+   the quality-vs-time trajectory, not the endpoint.  Emission sites
+   (annealing temperature levels, multistart trials, polish rounds,
+   choose calls) are orders of magnitude rarer than evaluations, but
+   they sit inside timed search loops, so [emit] must stay in the
+   hundreds-of-ns range: it only stamps the clock and conses the raw
+   record under the mutex.  All JSON rendering happens once, at
+   {!close} — which loses nothing, because the channel was never
+   flushed mid-run anyway (a crash costs the stream in either design).
+   Memory stays bounded by the record count: tens to a few thousand
+   per run, never per-evaluation.
+
+   Like [Sink], the noop value makes instrumentation free when off:
+   call sites guard with {!is_active} so they do not even build the
+   field list. *)
+
+type field = I of int | F of float | S of string | B of bool
+
+type record = {
+  seq : int;
+  t_ns : int64;
+  kind : string;
+  fields : (string * field) list;
+}
+
+type state = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  epoch_ns : int64;
+  mutable seq : int;
+  mutable records : record list;  (* newest first *)
+}
+
+type t = Noop | Active of state
+
+let noop = Noop
+
+let is_active = function Noop -> false | Active _ -> true
+
+let create path =
+  let oc = open_out path in
+  Active
+    { oc;
+      mutex = Mutex.create ();
+      epoch_ns = Monotonic_clock.now ();
+      seq = 0;
+      records = [] }
+
+(* Multiple domains may emit (multistart trials run on pool workers):
+   the clock read happens outside the lock, the seq stamp and the cons
+   inside, so the file order at close is the seq order. *)
+let emit t kind fields =
+  match t with
+  | Noop -> ()
+  | Active st ->
+      let now = Monotonic_clock.now () in
+      let t_ns = Int64.sub now st.epoch_ns in
+      Mutex.lock st.mutex;
+      let seq = st.seq in
+      st.seq <- seq + 1;
+      st.records <- { seq; t_ns; kind; fields } :: st.records;
+      Mutex.unlock st.mutex
+
+(* Close-time rendering helpers.  Strings are almost always plain
+   identifiers, so the escape scan avoids [Json.escape_string]'s
+   allocation on that path; [Float.to_string] is shortest-round-trip
+   [%.17g] plus a trailing ['.'] on integral values, which JSON
+   numbers cannot carry — patch it to [".0"]. *)
+let add_json_string buf s =
+  let needs_escape = ref false in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' || Char.code c < 0x20 then
+        needs_escape := true)
+    s;
+  if !needs_escape then Buffer.add_string buf (Json.escape_string s)
+  else Buffer.add_string buf s
+
+let add_float buf f =
+  if Float.is_finite f then begin
+    let s = Float.to_string f in
+    Buffer.add_string buf s;
+    if s.[String.length s - 1] = '.' then Buffer.add_char buf '0'
+  end
+  else Buffer.add_string buf "null"
+
+let add_field buf (name, v) =
+  Buffer.add_char buf ',';
+  Buffer.add_char buf '"';
+  add_json_string buf name;
+  Buffer.add_string buf "\":";
+  match v with
+  | I i -> Buffer.add_string buf (string_of_int i)
+  | F f -> add_float buf f
+  | S s ->
+      Buffer.add_char buf '"';
+      add_json_string buf s;
+      Buffer.add_char buf '"'
+  | B b -> Buffer.add_string buf (if b then "true" else "false")
+
+let render buf r =
+  Buffer.add_string buf "{\"kind\":\"";
+  add_json_string buf r.kind;
+  Buffer.add_string buf "\",\"t_ns\":";
+  Buffer.add_string buf (Int64.to_string r.t_ns);
+  Buffer.add_string buf ",\"seq\":";
+  Buffer.add_string buf (string_of_int r.seq);
+  List.iter (add_field buf) r.fields;
+  Buffer.add_char buf '}';
+  Buffer.add_char buf '\n'
+
+let close = function
+  | Noop -> ()
+  | Active st ->
+      let records = List.rev st.records in
+      st.records <- [];
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun r ->
+          Buffer.clear buf;
+          render buf r;
+          Buffer.output_buffer st.oc buf)
+        records;
+      close_out st.oc

@@ -1,0 +1,34 @@
+(** Anytime-event stream: a JSONL file tracing search convergence.
+
+    Each record is one JSON object on its own line with two standard
+    fields — ["kind"] (the record type) and ["t_ns"] (monotonic
+    nanoseconds since the stream was created) — plus whatever the
+    emission site attaches.  The schema per kind is documented in
+    EXPERIMENTS.md; [basched report] renders a stream into a summary
+    table.
+
+    Emission is buffered (flushed once, at {!close}) and safe from
+    multiple domains — lines never interleave.  The {!noop} stream
+    makes every call free; hot call sites should still guard with
+    {!is_active} to avoid building the field list. *)
+
+type field = I of int | F of float | S of string | B of bool
+
+type t
+
+val noop : t
+(** The disabled stream: {!emit} and {!close} are no-ops. *)
+
+val is_active : t -> bool
+
+val create : string -> t
+(** [create path] opens (truncates) [path] for writing.
+    @raise Sys_error if the file cannot be opened. *)
+
+val emit : t -> string -> (string * field) list -> unit
+(** [emit t kind fields] appends one record.  Non-finite floats are
+    written as [null] so the stream stays parseable JSON. *)
+
+val close : t -> unit
+(** Flush and close the underlying channel.  Required for the records
+    to reach disk; double-close raises like [close_out] does. *)

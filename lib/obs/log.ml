@@ -43,6 +43,25 @@ let log l msg =
   if enabled l then
     (Atomic.get output) (Printf.sprintf "basched: [%s] %s" (label l) (msg ()))
 
+(* Environment hooks: cram tests and CI want telemetry without
+   plumbing flags through every harness.  Unknown BATSCHED_LOG values
+   are reported (at the requested-by-accident cost of one stderr line)
+   rather than silently ignored. *)
+let init_from_env () =
+  match Sys.getenv_opt "BATSCHED_LOG" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match of_string s with
+      | Some l -> set_level l
+      | None ->
+          default_output
+            (Printf.sprintf "basched: [warn] BATSCHED_LOG=%s not a level" s))
+
+let env_stats () =
+  match Sys.getenv_opt "BATSCHED_STATS" with
+  | Some "1" | Some "true" -> true
+  | _ -> false
+
 let err msg = log Error msg
 
 let warn msg = log Warn msg

@@ -28,6 +28,15 @@ val set_output : (string -> unit) -> unit
 (** Replace the line consumer (default: write to [stderr] and flush).
     The consumer receives complete, already-prefixed lines. *)
 
+val init_from_env : unit -> unit
+(** Apply [BATSCHED_LOG] (a level name) if set; warns on stderr for an
+    unrecognized value.  Binaries call this at startup so cram tests
+    and CI can enable telemetry without flags. *)
+
+val env_stats : unit -> bool
+(** Whether [BATSCHED_STATS] is set to [1] or [true] — binaries treat
+    it as an implicit [--stats]. *)
+
 val err : (unit -> string) -> unit
 val warn : (unit -> string) -> unit
 val info : (unit -> string) -> unit

@@ -59,23 +59,58 @@ let add_phases buf spans =
         "phase" "count" "total ms" "mean" "p50" "p90" "max" "kw/call";
       List.iter
         (fun (name, (ds, ws)) ->
-          let total = List.fold_left ( +. ) 0.0 ds in
-          let _, max_d = Stats.min_max ds in
-          let share = if grand_total > 0.0 then total /. grand_total else 0.0 in
-          let bar =
-            String.make
-              (int_of_float (Float.round (share *. 24.0)))
-              '#'
-          in
-          Printf.bprintf buf
-            "%-*s %7d %12.3f %10.3f %10.3f %10.3f %10.3f %10.1f  %s\n" width
-            name (List.length ds) total (Stats.mean ds) (Stats.median ds)
-            (Stats.percentile 90.0 ds) max_d
-            (Stats.mean ws /. 1e3) bar)
+          (* a phase can legitimately have zero completed spans (its
+             sink was superseded mid-run): render a stub row instead of
+             tripping Stats.percentile's nonempty precondition *)
+          if ds = [] then
+            Printf.bprintf buf "%-*s %7d %12s (no completed spans)\n" width
+              name 0 "-"
+          else begin
+            let total = List.fold_left ( +. ) 0.0 ds in
+            let _, max_d = Stats.min_max ds in
+            let share =
+              if grand_total > 0.0 then total /. grand_total else 0.0
+            in
+            let bar =
+              String.make
+                (int_of_float (Float.round (share *. 24.0)))
+                '#'
+            in
+            Printf.bprintf buf
+              "%-*s %7d %12.3f %10.3f %10.3f %10.3f %10.3f %10.1f  %s\n" width
+              name (List.length ds) total (Stats.mean ds) (Stats.median ds)
+              (Stats.percentile 90.0 ds) max_d
+              (Stats.mean ws /. 1e3) bar
+          end)
         phases
+
+(* Histogram quantiles, when the registry is on: latency and batch-size
+   distributions that the flat counters cannot express. *)
+let add_histograms buf =
+  match Histogram.snapshot () with
+  | [] -> ()
+  | hists ->
+      let width =
+        List.fold_left
+          (fun acc (name, _) -> max acc (String.length name))
+          (String.length "histogram") hists
+      in
+      Printf.bprintf buf "\n%-*s %9s %12s %12s %12s %12s %12s\n" width
+        "histogram" "count" "p50" "p90" "p99" "max" "mean";
+      List.iter
+        (fun (name, h) ->
+          let n = Histogram.count h in
+          if n > 0 then
+            Printf.bprintf buf
+              "%-*s %9d %12.1f %12.1f %12.1f %12.1f %12.1f\n" width name n
+              (Histogram.quantile h 50.0) (Histogram.quantile h 90.0)
+              (Histogram.quantile h 99.0) (Histogram.max_value h)
+              (Histogram.sum h /. float_of_int n))
+        hists
 
 let to_string sink =
   let buf = Buffer.create 1024 in
   add_counters buf (Probe.totals ());
   add_phases buf (Sink.spans sink);
+  add_histograms buf;
   Buffer.contents buf

@@ -50,7 +50,13 @@ let pool_hooks =
          (match Atomic.get ambient with
          | Noop -> (Domain.DLS.get buffer_key).spans <- []
          | Active st -> flush_local st);
+         (* histogram shards follow the same join discipline as spans *)
+         Histogram.flush_local ();
          (Domain.DLS.get buffer_key).track <- 0))
+
+(* Let [Histogram.enable] force these hooks without depending on this
+   module (which depends on it). *)
+let () = Histogram.set_pool_hook_installer (fun () -> Lazy.force pool_hooks)
 
 let create () =
   Lazy.force pool_hooks;
@@ -77,10 +83,13 @@ let with_span t name f =
         ~finally:(fun () ->
           let t1 = Monotonic_clock.now () in
           let w1 = Gc.minor_words () in
+          let dur_ns = Int64.sub t1 t0 in
           b.spans <-
-            { track = b.track; name; start_ns = t0;
-              dur_ns = Int64.sub t1 t0; alloc_words = w1 -. w0 }
-            :: b.spans)
+            { track = b.track; name; start_ns = t0; dur_ns;
+              alloc_words = w1 -. w0 }
+            :: b.spans;
+          if Histogram.enabled () then
+            Histogram.observe ("span/" ^ name) (Int64.to_float dur_ns))
         f
 
 let compare_span (a : span) (b : span) =
@@ -99,7 +108,10 @@ let spans t =
   match t with
   | Noop -> []
   | Active st ->
-      flush_local st;
+      (* Flush this domain's buffer only if [t] is still the ambient
+         sink — once superseded by a later [create], the buffer holds
+         the {e new} sink's spans and must not leak into this one. *)
+      if Atomic.get ambient == t then flush_local st;
       Mutex.lock st.mutex;
       let merged = st.merged in
       Mutex.unlock st.mutex;

@@ -11,15 +11,37 @@ module Sink = Batsched_obs.Sink
 module Trace = Batsched_obs.Trace
 module Report = Batsched_obs.Report
 module Log = Batsched_obs.Log
+module Histogram = Batsched_obs.Histogram
+module Events = Batsched_obs.Events
 module Probe = Batsched_numeric.Probe
 
 let parallel_pool = Batsched_numeric.Pool.create 4
 
 let run_multistart ?(pool = Batsched_numeric.Pool.sequential)
-    ?(obs = Sink.noop) g ~deadline =
-  let cfg = Batsched.Config.make ~pool ~obs ~deadline () in
+    ?(obs = Sink.noop) ?(events = Events.noop) g ~deadline =
+  let cfg = Batsched.Config.make ~pool ~obs ~events ~deadline () in
   Batsched.Iterate.run_multistart
     ~rng:(Batsched_numeric.Rng.create 11) ~starts:6 cfg g
+
+(* Run [f] with the full telemetry stack up: histogram registry on and
+   a live JSONL event stream to a temp file.  Hands [f] the events
+   value and afterwards the parsed records; everything is torn back
+   down whatever [f] does. *)
+let with_full_telemetry f =
+  let path = Filename.temp_file "batsched_events" ".jsonl" in
+  Histogram.reset ();
+  Histogram.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Histogram.disable ();
+      Sys.remove path)
+    (fun () ->
+      let events = Events.create path in
+      let result =
+        Fun.protect ~finally:(fun () -> Events.close events)
+          (fun () -> f events)
+      in
+      (result, Batsched_obs.Json.of_jsonl_file path))
 
 let same_result name (a : Batsched.Iterate.result)
     (b : Batsched.Iterate.result) =
@@ -57,6 +79,20 @@ let test_active_sink_identical_parallel () =
       same_result (Graph.label g ^ " par") plain traced)
     published_cases
 
+(* the whole stack at once — sink spans, histogram registry, event
+   stream — against a bare sequential run *)
+let test_full_telemetry_identical () =
+  List.iter
+    (fun (g, deadline) ->
+      let plain = run_multistart g ~deadline in
+      let traced, _records =
+        with_full_telemetry (fun events ->
+            run_multistart ~pool:parallel_pool ~obs:(Sink.create ()) ~events g
+              ~deadline)
+      in
+      same_result (Graph.label g ^ " full telemetry") plain traced)
+    published_cases
+
 let gen_case =
   QCheck.(map
             (fun (seed, slack10) ->
@@ -71,11 +107,15 @@ let gen_case =
 
 let prop_instrumented_matches_uninstrumented =
   QCheck.Test.make ~count:25
-    ~name:"active sink + parallel pool bit-identical to noop sequential"
+    ~name:
+      "sink + events + histograms on a parallel pool bit-identical to noop \
+       sequential"
     gen_case (fun (g, deadline) ->
       let plain = run_multistart g ~deadline in
-      let traced =
-        run_multistart ~pool:parallel_pool ~obs:(Sink.create ()) g ~deadline
+      let traced, _ =
+        with_full_telemetry (fun events ->
+            run_multistart ~pool:parallel_pool ~obs:(Sink.create ()) ~events g
+              ~deadline)
       in
       plain.Batsched.Iterate.schedule.Schedule.sequence
       = traced.Batsched.Iterate.schedule.Schedule.sequence
@@ -130,144 +170,15 @@ let test_counters_count_real_work () =
   Alcotest.(check bool) "windows evaluated" true (c.Probe.window_evals > 0);
   Alcotest.(check bool) "multistart mapped tasks" true (c.Probe.pool_tasks >= 6)
 
-(* --- trace export: a minimal JSON reader ---
+(* --- trace export validity ---
 
-   No JSON library in the image, so validity is checked with a small
-   recursive-descent parser covering exactly the grammar the exporter
-   can emit (objects, arrays, strings with escapes, numbers). *)
+   Checked with the library's own minimal JSON reader (lib/obs/json.ml,
+   promoted from the recursive-descent parser that used to live inline
+   here). *)
 
-type json =
-  | Obj of (string * json) list
-  | Arr of json list
-  | Str of string
-  | Num of float
-  | Bool of bool
-  | Null
+open Batsched_obs.Json
 
-exception Bad_json of string
-
-let parse_json text =
-  let pos = ref 0 in
-  let len = String.length text in
-  let peek () = if !pos < len then Some text.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > len then fail "short \\u escape";
-              let hex = String.sub text !pos 4 in
-              ignore (int_of_string ("0x" ^ hex));
-              pos := !pos + 4;
-              Buffer.add_char buf '?';
-              go ()
-          | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
-              advance ();
-              Buffer.add_char buf c;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          advance ();
-          Buffer.add_char buf c;
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let number_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> number_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub text start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let literal word value =
-    if !pos + String.length word <= len
-       && String.sub text !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail ("expected " ^ word)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ((key, v) :: acc)
-            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); Arr [] end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elements (v :: acc)
-            | Some ']' -> advance (); Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> fail "unexpected end"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
-
-let field name = function
-  | Obj members -> List.assoc_opt name members
-  | _ -> None
+let parse_json = parse
 
 let traced_run () =
   let obs = Sink.create () in
@@ -422,9 +333,414 @@ let test_log_of_string () =
   Alcotest.(check bool) "quiet" true (Log.of_string "quiet" = Some Log.Quiet);
   Alcotest.(check bool) "junk" true (Log.of_string "chatty" = None)
 
+(* --- histograms --- *)
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  h
+
+(* bucketed quantiles against the exact order statistics: the documented
+   accuracy is half a bucket (~3% relative), plus a little slack for the
+   rank-definition difference against [Stats.percentile]'s
+   interpolation *)
+let test_histogram_quantile_matches_stats () =
+  let rng = Batsched_numeric.Rng.create 99 in
+  let samples =
+    List.init 1000 (fun _ ->
+        Float.exp (Batsched_numeric.Rng.float rng 10.0))
+  in
+  let h = hist_of samples in
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  List.iter
+    (fun p ->
+      let want = Batsched_numeric.Stats.percentile p samples in
+      let got = Histogram.quantile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f: %g within 7%% of %g" p got want)
+        true
+        (Float.abs (got -. want) <= 0.07 *. want))
+    [ 10.0; 50.0; 90.0; 99.0 ];
+  let mn, mx = (Histogram.min_value h, Histogram.max_value h) in
+  Alcotest.(check bool) "p0 = exact min" true
+    (Float.equal (Histogram.quantile h 0.0) mn);
+  Alcotest.(check bool) "p100 = exact max" true
+    (Float.equal (Histogram.quantile h 100.0) mx)
+
+(* bucket contents and counts are integers, so merge determinism is
+   exact; the running [sum] is a float accumulation whose association
+   depends on the shard split, so it only agrees to rounding *)
+let buckets_equal a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.nonzero_buckets a = Histogram.nonzero_buckets b
+  && Float.abs (Histogram.sum a -. Histogram.sum b)
+     <= 1e-9 *. (1.0 +. Float.abs (Histogram.sum a))
+
+(* sharding observations across histograms and merging in any order
+   reproduces the directly-built histogram bucket for bucket *)
+let prop_histogram_merge_deterministic =
+  QCheck.Test.make ~count:100
+    ~name:"sharded merge = direct build, any merge order"
+    QCheck.(pair (int_bound 3) (small_list (pair (int_bound 4) pos_float)))
+    (fun (shards, tagged) ->
+      let k = shards + 1 in
+      let direct = hist_of (List.map snd tagged) in
+      let parts = Array.init k (fun _ -> Histogram.create ()) in
+      List.iter
+        (fun (tag, v) -> Histogram.record parts.(tag mod k) v)
+        tagged;
+      let forward = Histogram.create () in
+      Array.iter (fun p -> Histogram.merge ~into:forward p) parts;
+      let backward = Histogram.create () in
+      for i = k - 1 downto 0 do
+        Histogram.merge ~into:backward parts.(i)
+      done;
+      buckets_equal direct forward && buckets_equal forward backward)
+
+(* the named registry: per-domain shards flushed at pool joins must
+   yield a merged table independent of the pool size *)
+let test_histogram_registry_pool_invariant () =
+  let run pool =
+    Histogram.reset ();
+    Histogram.enable ();
+    Fun.protect ~finally:Histogram.disable (fun () ->
+        ignore
+          (Batsched_numeric.Pool.map_list pool
+             (fun i ->
+               for j = 1 to 50 do
+                 Histogram.observe "test/registry"
+                   (float_of_int (((i * 53) + j) mod 97));
+                 Histogram.observe "test/other" (float_of_int (i + j))
+               done;
+               i)
+             (List.init 16 Fun.id));
+        Histogram.snapshot ())
+  in
+  let a = run Batsched_numeric.Pool.sequential in
+  let b = run parallel_pool in
+  Alcotest.(check (list string))
+    "same metric names" (List.map fst a) (List.map fst b);
+  List.iter2
+    (fun (name, ha) (_, hb) ->
+      Alcotest.(check bool) (name ^ " buckets identical") true
+        (buckets_equal ha hb))
+    a b
+
+let test_histogram_disabled_noop () =
+  Histogram.reset ();
+  Histogram.observe "test/ghost" 1.0;
+  Alcotest.(check (list string)) "nothing recorded while disabled" []
+    (List.map fst (Histogram.snapshot ()))
+
+(* --- events stream --- *)
+
+let test_events_jsonl_wellformed () =
+  let _, records =
+    with_full_telemetry (fun events ->
+        run_multistart ~events Instances.g2 ~deadline:75.0)
+  in
+  Alcotest.(check bool) "has records" true (records <> []);
+  let last_t = ref (-1.0) in
+  List.iter
+    (fun r ->
+      (match (str_field "kind" r, num_field "t_ns" r) with
+      | Some _, Some t -> Alcotest.(check bool) "t_ns >= 0" true (t >= 0.0)
+      | _ -> Alcotest.fail "record missing kind or t_ns");
+      (* single-writer sequential run: timestamps are monotone *)
+      let t = Option.get (num_field "t_ns" r) in
+      Alcotest.(check bool) "t_ns monotone" true (t >= !last_t);
+      last_t := t)
+    records;
+  let kinds = List.filter_map (str_field "kind") records in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
+    [ "choose"; "iteration"; "trial"; "multistart_done" ]
+
+let test_events_annealing_stream () =
+  let _, records =
+    with_full_telemetry (fun events ->
+        let rng = Batsched_numeric.Rng.create 11 in
+        let model = Batsched_battery.Rakhmatov.model () in
+        ignore
+          (Batsched_baselines.Annealing.run ~events ~rng ~model Instances.g2
+             ~deadline:75.0))
+  in
+  let kinds = List.filter_map (str_field "kind") records in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
+    [ "anneal_start"; "anneal_level"; "anneal_done" ];
+  (* acceptance rates are rates *)
+  List.iter
+    (fun r ->
+      if str_field "kind" r = Some "anneal_level" then
+        match num_field "accept_rate" r with
+        | Some a ->
+            Alcotest.(check bool) "accept_rate in [0,1]" true
+              (a >= 0.0 && a <= 1.0)
+        | None -> Alcotest.fail "anneal_level missing accept_rate")
+    records
+
+let test_events_noop_inactive () =
+  Alcotest.(check bool) "noop inactive" false (Events.is_active Events.noop)
+
+(* --- OpenMetrics exposition lint --- *)
+
+let metric_line_ok line =
+  (* NAME{label="value",...} VALUE  — value is the last space-separated
+     token and must parse as a float; the name part must use the
+     Prometheus alphabet *)
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some i ->
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      let name_part = String.sub line 0 i in
+      let name =
+        match String.index_opt name_part '{' with
+        | Some j ->
+            if j > 0 && name_part.[String.length name_part - 1] = '}' then
+              String.sub name_part 0 j
+            else ""
+        | None -> name_part
+      in
+      let name_ok =
+        name <> ""
+        && String.for_all
+             (function
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+               | _ -> false)
+             name
+      in
+      name_ok && float_of_string_opt value <> None
+
+let test_openmetrics_lint () =
+  Probe.reset ();
+  Histogram.reset ();
+  Histogram.enable ();
+  let text =
+    Fun.protect ~finally:Histogram.disable (fun () ->
+        ignore (run_multistart ~obs:(Sink.create ()) Instances.g2 ~deadline:75.0);
+        Batsched_obs.Openmetrics.to_string ())
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "nonempty" true (lines <> []);
+  Alcotest.(check string) "terminated by # EOF" "# EOF"
+    (List.nth lines (List.length lines - 1));
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        Alcotest.(check bool) ("well-formed sample: " ^ line) true
+          (metric_line_ok line))
+    lines;
+  Alcotest.(check bool) "counters exported" true
+    (List.exists
+       (fun l ->
+         String.length l >= 22
+         && String.sub l 0 22 = "batsched_counter_total")
+       lines);
+  (* histogram families: cumulative buckets ending at le="+Inf" = count *)
+  let bucket_suffix = "_bucket{le=\"" in
+  let contains_at l sub i =
+    i + String.length sub <= String.length l
+    && String.sub l i (String.length sub) = sub
+  in
+  let bucket_lines =
+    List.filter
+      (fun l ->
+        let rec scan i =
+          i + String.length bucket_suffix <= String.length l
+          && (contains_at l bucket_suffix i || scan (i + 1))
+        in
+        String.length l > 0 && l.[0] <> '#' && scan 0)
+      lines
+  in
+  Alcotest.(check bool) "histogram buckets exported" true (bucket_lines <> []);
+  (* per family, counts never decrease and the family ends at +Inf *)
+  let family_of l =
+    match String.index_opt l '{' with
+    | Some j -> String.sub l 0 j
+    | None -> l
+  in
+  let value_of l =
+    match String.rindex_opt l ' ' with
+    | Some i ->
+        float_of_string (String.sub l (i + 1) (String.length l - i - 1))
+    | None -> Float.nan
+  in
+  let rec group = function
+    | [] -> []
+    | l :: _ as ls ->
+        let fam = family_of l in
+        let mine, rest = List.partition (fun l' -> family_of l' = fam) ls in
+        (fam, mine) :: group rest
+  in
+  List.iter
+    (fun (fam, ls) ->
+      let counts = List.map value_of ls in
+      let sorted = List.sort compare counts in
+      Alcotest.(check bool) (fam ^ " cumulative") true (counts = sorted);
+      let last_bucket = List.nth ls (List.length ls - 1) in
+      let has_inf =
+        let inf = "{le=\"+Inf\"}" in
+        let rec scan i =
+          i + String.length inf <= String.length last_bucket
+          && (contains_at last_bucket inf i || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (fam ^ " ends at +Inf") true has_inf)
+    (group bucket_lines)
+
+(* --- bench --compare classification --- *)
+
+module BC = Batsched_obs.Bench_compare
+
+let bc_row ?(r2 = 0.99) ?(low = false) ?first name ns =
+  { BC.name;
+    ns_per_run = ns;
+    r_square = r2;
+    low_confidence = low;
+    ns_per_run_first = first }
+
+let check_verdict msg want (c : BC.comparison) =
+  Alcotest.(check string) msg (BC.verdict_string want)
+    (BC.verdict_string c.BC.verdict)
+
+(* r2 = 0.99 on both sides gives threshold 0.10 + 0.5*(0.1+0.1) = 0.20 *)
+let test_compare_classify () =
+  check_verdict "halved = improved" BC.Improved
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0) (bc_row "x" 500.0));
+  check_verdict "identical = flat" BC.Flat
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0) (bc_row "x" 1000.0));
+  check_verdict "+10% inside threshold = flat" BC.Flat
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0) (bc_row "x" 1100.0));
+  check_verdict "doubled = regressed" BC.Regressed
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0) (bc_row "x" 2000.0));
+  check_verdict "poor fit never gates" BC.Low_confidence
+    (BC.classify_pair ~scenario:"x"
+       (bc_row ~r2:0.2 "x" 1000.0)
+       (bc_row "x" 2000.0));
+  check_verdict "low-confidence tag never gates" BC.Low_confidence
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0)
+       (bc_row ~low:true "x" 2000.0));
+  (* +25% would regress at threshold 0.20, but the rerun guard saw the
+     first estimate 20% above the final one: dispersion widens the
+     threshold to 0.40 *)
+  check_verdict "rerun dispersion widens the threshold" BC.Flat
+    (BC.classify_pair ~scenario:"x" (bc_row "x" 1000.0)
+       (bc_row ~first:1500.0 "x" 1250.0))
+
+let test_compare_rows_join () =
+  let old_rows = [ bc_row "a" 1000.0; bc_row "gone" 5.0 ] in
+  let new_rows =
+    [ bc_row "batsched/a" 500.0;
+      bc_row "fresh-delta/x" 100.0;
+      bc_row "fresh-reference/x" 1000.0 ]
+  in
+  let r = BC.compare_rows old_rows new_rows in
+  Alcotest.(check (list string)) "joined on bare name" [ "a" ]
+    (List.map (fun c -> c.BC.scenario) r.BC.joined);
+  check_verdict "joined improved" BC.Improved (List.hd r.BC.joined);
+  Alcotest.(check (list string)) "removed" [ "gone" ] r.BC.removed;
+  Alcotest.(check bool) "reference twin paired" true
+    (List.exists
+       (fun c -> c.BC.new_ns = 100.0 && c.BC.old_ns = 1000.0)
+       r.BC.pairs);
+  Alcotest.(check bool) "no confident regression" false
+    (BC.has_confident_regression r)
+
+let test_compare_regression_gate () =
+  let gate old_r2 =
+    BC.has_confident_regression
+      (BC.compare_rows
+         [ bc_row ~r2:old_r2 "a" 1000.0 ]
+         [ bc_row "a" 3000.0 ])
+  in
+  Alcotest.(check bool) "confident regression trips the gate" true
+    (gate 0.99);
+  Alcotest.(check bool) "noisy old row only warns" false (gate 0.2)
+
+let test_compare_normalize () =
+  let old_rows = [ bc_row "a" 1000.0; bc_row "b" 2000.0; bc_row "c" 10.0 ] in
+  let new_rows = [ bc_row "a" 2000.0; bc_row "b" 4000.0; bc_row "c" 20.0 ] in
+  let raw = BC.compare_rows old_rows new_rows in
+  List.iter (check_verdict "raw: doubled = regressed" BC.Regressed)
+    raw.BC.joined;
+  let normed = BC.compare_rows ~normalize:true old_rows new_rows in
+  (match normed.BC.norm_factor with
+  | Some f -> Alcotest.(check bool) "median ratio divided out" true
+                (Float.abs (f -. 2.0) < 1e-9)
+  | None -> Alcotest.fail "norm_factor missing");
+  List.iter
+    (check_verdict "normalized: uniform slowdown = flat" BC.Flat)
+    normed.BC.joined
+
+(* the committed snapshots must reproduce the PR 1-6 speedups — the
+   same invariant the CI gate relies on *)
+let test_compare_committed_snapshots () =
+  let old_path = "../BENCH_2026-08-06_seed.json" in
+  let new_path = "../BENCH_2026-08-08_models.json" in
+  if not (Sys.file_exists old_path && Sys.file_exists new_path) then ()
+  else begin
+    let r = BC.compare_files old_path new_path in
+    let verdict_of scenario =
+      match
+        List.find_opt
+          (fun c -> c.BC.scenario = scenario)
+          (r.BC.joined @ r.BC.pairs)
+      with
+      | Some c -> BC.verdict_string c.BC.verdict
+      | None -> "missing"
+    in
+    Alcotest.(check string) "iterate-n26 improved" "improved"
+      (verdict_of "scaling/iterate-n26");
+    Alcotest.(check bool) "choose-n64 pair improved" true
+      (List.exists
+         (fun c ->
+           c.BC.verdict = BC.Improved
+           && c.BC.new_ns < c.BC.old_ns
+           &&
+           let s = c.BC.scenario in
+           String.length s >= 11 && String.sub s 0 11 = "choose-n64/")
+         r.BC.pairs);
+    Alcotest.(check bool) "no confident regression" false
+      (BC.has_confident_regression r)
+  end
+
+(* --- report robustness --- *)
+
+let test_report_superseded_sink () =
+  let a = Sink.create () in
+  Sink.with_span a "alpha" (fun () -> ());
+  (* supersede [a] before it flushed; its report must neither raise nor
+     steal the successor's spans *)
+  let b = Sink.create () in
+  Sink.with_span b "beta" (fun () -> ());
+  let ra = Report.to_string a in
+  Alcotest.(check bool) "superseded report omits successor spans" false
+    (contains_substring ra "beta");
+  let rb = Report.to_string b in
+  Alcotest.(check bool) "live sink keeps its spans" true
+    (contains_substring rb "beta")
+
+let test_report_renders_histograms () =
+  Histogram.reset ();
+  Histogram.enable ();
+  let report =
+    Fun.protect ~finally:Histogram.disable (fun () ->
+        Histogram.observe "test/latency" 123.0;
+        Report.to_string Sink.noop)
+  in
+  Alcotest.(check bool) "histogram table present" true
+    (contains_substring report "test/latency")
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_instrumented_matches_uninstrumented ]
+    [ prop_instrumented_matches_uninstrumented;
+      prop_histogram_merge_deterministic ]
 
 let () =
   Alcotest.run "obs"
@@ -432,7 +748,9 @@ let () =
         [ Alcotest.test_case "published instances, pool 1" `Quick
             test_active_sink_identical_sequential;
           Alcotest.test_case "published instances, pool 4" `Quick
-            test_active_sink_identical_parallel ] );
+            test_active_sink_identical_parallel;
+          Alcotest.test_case "full telemetry stack" `Quick
+            test_full_telemetry_identical ] );
       ( "counters",
         [ Alcotest.test_case "repeatable" `Quick test_counters_repeatable;
           Alcotest.test_case "pool-size invariant" `Quick
@@ -454,4 +772,35 @@ let () =
           Alcotest.test_case "disabled thunk not forced" `Quick
             test_log_disabled_thunk_not_forced;
           Alcotest.test_case "of_string" `Quick test_log_of_string ] );
+      ( "histograms",
+        [ Alcotest.test_case "quantile vs Stats.percentile" `Quick
+            test_histogram_quantile_matches_stats;
+          Alcotest.test_case "registry pool-size invariant" `Quick
+            test_histogram_registry_pool_invariant;
+          Alcotest.test_case "disabled registry records nothing" `Quick
+            test_histogram_disabled_noop ] );
+      ( "events",
+        [ Alcotest.test_case "JSONL well-formed" `Quick
+            test_events_jsonl_wellformed;
+          Alcotest.test_case "annealing stream" `Quick
+            test_events_annealing_stream;
+          Alcotest.test_case "noop inactive" `Quick test_events_noop_inactive
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "exposition lint" `Quick test_openmetrics_lint ]
+      );
+      ( "bench-compare",
+        [ Alcotest.test_case "classification" `Quick test_compare_classify;
+          Alcotest.test_case "join, twins, gate" `Quick
+            test_compare_rows_join;
+          Alcotest.test_case "regression gate" `Quick
+            test_compare_regression_gate;
+          Alcotest.test_case "normalization" `Quick test_compare_normalize;
+          Alcotest.test_case "committed snapshots" `Quick
+            test_compare_committed_snapshots ] );
+      ( "report",
+        [ Alcotest.test_case "superseded sink safe" `Quick
+            test_report_superseded_sink;
+          Alcotest.test_case "renders histograms" `Quick
+            test_report_renders_histograms ] );
       ("properties", qcheck_tests) ]
