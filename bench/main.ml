@@ -21,7 +21,12 @@
    One experiment:        dune exec bench/main.exe -- table3
    Compare snapshots:     dune exec bench/main.exe -- --compare OLD.json NEW.json
                           (--normalize divides out overall machine speed;
-                           exits 1 on a confident regression) *)
+                           exits 1 on a confident regression)
+
+   Telemetry sinks: --metrics FILE writes an OpenMetrics exposition,
+   --ledger DIR records a run manifest (wall time, counters, git rev)
+   to the run registry; BATSCHED_METRICS / BATSCHED_LEDGER are the
+   env equivalents. *)
 
 open Bechamel
 open Toolkit
@@ -761,8 +766,20 @@ let () =
   let json_out, args = extract_opt "--json" args in
   let trace_out, args = extract_opt "--trace" args in
   let metrics_out, args = extract_opt "--metrics" args in
+  let ledger_out, args = extract_opt "--ledger" args in
   let stats, args = extract_flag "--stats" args in
   let stats = stats || Batsched_obs.Log.env_stats () in
+  let metrics_out =
+    match metrics_out with
+    | Some _ -> metrics_out
+    | None -> Batsched_obs.Log.env_opt "BATSCHED_METRICS"
+  in
+  let ledger_out =
+    match ledger_out with
+    | Some _ -> ledger_out
+    | None -> Batsched_obs.Log.env_opt "BATSCHED_LEDGER"
+  in
+  let wall0 = Unix.gettimeofday () in
   if stats || trace_out <> None then obs := Batsched_obs.Sink.create ();
   if stats || metrics_out <> None then Batsched_obs.Histogram.enable ();
   (* fail on an unwritable --json target now, not after minutes of timing *)
@@ -807,6 +824,32 @@ let () =
       Batsched_obs.Openmetrics.write_file out;
       Printf.printf "wrote OpenMetrics exposition to %s\n%!" out
   | None -> ());
-  match (json_out, rows) with
+  (match (json_out, rows) with
   | Some path, Some rows -> write_json path rows (work_profile ())
-  | _ -> ()
+  | _ -> ());
+  match ledger_out with
+  | None -> ()
+  | Some dir -> (
+      let mode = match args with [] -> "all" | parts -> String.concat "+" parts in
+      let spec =
+        { Batsched_obs.Ledger.tool = "bench";
+          label = mode;
+          instance = "";
+          instance_hash = "";
+          model = "";
+          seed = 0;
+          pool_size = Batsched_numeric.Pool.recommended ();
+          knobs =
+            [ ("mode", mode);
+              ("scenarios", string_of_int (List.length scenarios));
+              ("json", match json_out with Some p -> p | None -> "") ];
+          wall_s = Unix.gettimeofday () -. wall0;
+          sigma = None;
+          finish = None;
+          events_path = None;
+          curve = [] }
+      in
+      match Batsched_obs.Ledger.record ~dir spec with
+      | Ok id -> Printf.printf "ledger: recorded %s in %s\n%!" id dir
+      | Error msg ->
+          Printf.eprintf "bench: [warn] ledger write failed: %s\n%!" msg)

@@ -1,18 +1,25 @@
 (* basched: battery-aware scheduling of a task-graph file.
 
    Usage: basched FILE --deadline D [--algo iterative|dp-energy|chowdhury|
-          annealing|random] [--beta B] [--seed N] [--iterations]
+          annealing|random] [--beta B] [--seed N] [--pool N] [--iterations]
           [--stats] [--trace OUT.json] [--events OUT.jsonl]
-          [--metrics OUT.prom] [--dot OUT]
+          [--metrics OUT.prom] [--ledger DIR] [--dot OUT]
           basched report EVENTS.jsonl
+          basched runs [list|show ID|diff A B] [--ledger DIR]
+          basched profile A B [--ledger DIR] [--axis time|evals]
+          basched watch [FILE | --last] [--replay] [--interval MS]
 
    Environment: BATSCHED_LOG=debug|info|warn|error sets the log level,
-   BATSCHED_STATS=1 implies --stats — both for cram tests and CI. *)
+   BATSCHED_STATS=1 implies --stats, and BATSCHED_EVENTS / BATSCHED_METRICS /
+   BATSCHED_LEDGER are the flag equivalents of --events / --metrics /
+   --ledger — all for cram tests and CI, where threading flags through
+   harnesses is awkward. *)
 
 open Cmdliner
 open Batsched_taskgraph
 open Batsched_sched
 open Batsched_baselines
+module Obs = Batsched_obs
 
 let report ?(chart = false) g (sol : Solution.t) =
   Format.printf "schedule: %a@." (Schedule.pp g) sol.Solution.schedule;
@@ -54,20 +61,84 @@ let load_graph path =
     (doc.Tgff.graph, doc.Tgff.deadline)
   else (Textio.of_string text, None)
 
-let run_file path deadline algo beta seed iterations chart polish verbose
-    stats trace_out events_out metrics_out dot_out =
-  Batsched_obs.Log.init_from_env ();
-  if verbose then Batsched_obs.Log.set_level Batsched_obs.Log.Debug;
-  let stats = stats || Batsched_obs.Log.env_stats () in
+(* Terminal telemetry: histogram digests (so the dashboard can show a
+   latency block without parsing the exposition) and the run_done
+   marker that tells [basched watch] the stream is complete.  Digests
+   go first — a live watcher stops at run_done. *)
+let emit_terminal_records events (sol : Solution.t) =
+  if Obs.Events.is_active events then begin
+    if Obs.Histogram.enabled () then
+      List.iter
+        (fun (name, h) ->
+          if Obs.Histogram.count h > 0 then
+            Obs.Events.emit events "hist"
+              [ ("name", Obs.Events.S name);
+                ("count", Obs.Events.I (Obs.Histogram.count h));
+                ("p50", Obs.Events.F (Obs.Histogram.quantile h 50.0));
+                ("p99", Obs.Events.F (Obs.Histogram.quantile h 99.0));
+                ("max", Obs.Events.F (Obs.Histogram.max_value h)) ])
+        (Obs.Histogram.snapshot ());
+    Obs.Events.emit events "run_done"
+      [ ("sigma", Obs.Events.F sol.Solution.sigma);
+        ("finish", Obs.Events.F sol.Solution.finish) ]
+  end
+
+let record_ledger ~dir ~path ~algo ~beta ~seed ~pool_n ~deadline ~polish
+    ~events_out ~wall_s ~events (sol : Solution.t) =
+  let curve = Obs.Profile.curve_of_events (Obs.Events.snapshot events) in
+  let spec =
+    { Obs.Ledger.tool = "basched";
+      label = algo;
+      instance = path;
+      instance_hash =
+        (try Digest.to_hex (Digest.file path) with Sys_error _ -> "");
+      model = "rakhmatov";
+      seed;
+      pool_size = pool_n;
+      knobs =
+        [ ("algo", algo);
+          ("beta", Printf.sprintf "%g" beta);
+          ("deadline", Printf.sprintf "%g" deadline);
+          ("polish", string_of_bool polish) ];
+      wall_s;
+      sigma = Some sol.Solution.sigma;
+      finish = Some sol.Solution.finish;
+      events_path = events_out;
+      curve }
+  in
+  match Obs.Ledger.record ~dir spec with
+  | Ok id -> Printf.printf "ledger: recorded %s in %s\n" id dir
+  | Error msg -> Printf.eprintf "basched: [warn] ledger write failed: %s\n" msg
+
+let run_file path deadline algo beta seed pool_n iterations chart polish
+    verbose stats trace_out events_out metrics_out ledger_opt dot_out =
+  Obs.Log.init_from_env ();
+  if verbose then Obs.Log.set_level Obs.Log.Debug;
+  let stats = stats || Obs.Log.env_stats () in
+  let events_out =
+    match events_out with
+    | Some _ -> events_out
+    | None -> Obs.Log.env_opt "BATSCHED_EVENTS"
+  in
+  let metrics_out =
+    match metrics_out with
+    | Some _ -> metrics_out
+    | None -> Obs.Log.env_opt "BATSCHED_METRICS"
+  in
+  let ledger_dir =
+    match ledger_opt with
+    | Some _ -> ledger_opt
+    | None -> Obs.Log.env_opt "BATSCHED_LEDGER"
+  in
   (* Work counters are always on; an active sink additionally records
      phase span timers for --stats and --trace. *)
   let obs =
-    if stats || trace_out <> None then Batsched_obs.Sink.create ()
-    else Batsched_obs.Sink.noop
+    if stats || trace_out <> None then Obs.Sink.create ()
+    else Obs.Sink.noop
   in
   (* Histograms feed the --stats quantile block and the OpenMetrics
      exposition; off otherwise (one branch per observation site). *)
-  if stats || metrics_out <> None then Batsched_obs.Histogram.enable ();
+  if stats || metrics_out <> None then Obs.Histogram.enable ();
   match
     (try Ok (load_graph path) with
     | Textio.Parse_error { line; message }
@@ -99,47 +170,60 @@ let run_file path deadline algo beta seed iterations chart polish verbose
       with
       | Error msg -> Error msg
       | Ok deadline -> (
+      (* with a ledger but no --events, a memory stream still captures
+         the convergence curve for the manifest *)
       let events =
         match events_out with
-        | Some out -> Batsched_obs.Events.create out
-        | None -> Batsched_obs.Events.noop
+        | Some out -> Obs.Events.create out
+        | None ->
+            if ledger_dir <> None then Obs.Events.create_memory ()
+            else Obs.Events.noop
       in
-      (* closed on every path so the buffered records reach disk *)
-      Fun.protect ~finally:(fun () -> Batsched_obs.Events.close events)
+      let wall0 = Unix.gettimeofday () in
+      (* closed on every path so the records reach disk *)
+      Fun.protect ~finally:(fun () -> Obs.Events.close events)
       @@ fun () ->
       try
-        (match algo with
-        | "iterative" | "iterative-ms" ->
-            let cfg = Batsched.Config.make ~model ~obs ~events ~deadline () in
-            let result =
-              if algo = "iterative-ms" then
-                Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g
-              else Batsched.Iterate.run cfg g
-            in
-            if iterations then trace_iterations g result;
-            let result =
-              if polish then Batsched.Polish.polish cfg g result else result
-            in
-            report ~chart g
-              (Solution.of_schedule ~model g result.Batsched.Iterate.schedule)
-        | "branch-bound" ->
-            let outcome = Branch_bound.run ~model g ~deadline in
-            if not outcome.Branch_bound.optimal then
-              Printf.printf "(node budget hit: result may be suboptimal)\n";
-            report ~chart g outcome.Branch_bound.solution
-        | "dp-energy" -> report ~chart g (Dp_energy.run ~model g ~deadline)
-        | "chowdhury" -> report ~chart g (Chowdhury.run ~model g ~deadline)
-        | "annealing" ->
-            report ~chart g (Annealing.run ~events ~rng ~model g ~deadline)
-        | "random" -> report ~chart g (Random_search.run ~rng ~model g ~deadline)
-        | a -> failwith ("unknown algorithm: " ^ a));
+        let pool =
+          if pool_n > 1 then Batsched_numeric.Pool.create pool_n
+          else Batsched_numeric.Pool.sequential
+        in
+        let sol =
+          match algo with
+          | "iterative" | "iterative-ms" ->
+              let cfg =
+                Batsched.Config.make ~model ~obs ~events ~pool ~deadline ()
+              in
+              let result =
+                if algo = "iterative-ms" then
+                  Batsched.Iterate.run_multistart ~rng ~starts:8 cfg g
+                else Batsched.Iterate.run cfg g
+              in
+              if iterations then trace_iterations g result;
+              let result =
+                if polish then Batsched.Polish.polish cfg g result else result
+              in
+              Solution.of_schedule ~model g result.Batsched.Iterate.schedule
+          | "branch-bound" ->
+              let outcome = Branch_bound.run ~model g ~deadline in
+              if not outcome.Branch_bound.optimal then
+                Printf.printf "(node budget hit: result may be suboptimal)\n";
+              outcome.Branch_bound.solution
+          | "dp-energy" -> Dp_energy.run ~model g ~deadline
+          | "chowdhury" -> Chowdhury.run ~model g ~deadline
+          | "annealing" -> Annealing.run ~events ~rng ~model g ~deadline
+          | "random" -> Random_search.run ~events ~rng ~model g ~deadline
+          | a -> failwith ("unknown algorithm: " ^ a)
+        in
+        emit_terminal_records events sol;
+        report ~chart g sol;
         if stats then begin
           print_newline ();
-          print_string (Batsched_obs.Report.to_string obs)
+          print_string (Obs.Report.to_string obs)
         end;
         (match trace_out with
         | Some out ->
-            Batsched_obs.Trace.write obs out;
+            Obs.Trace.write obs out;
             Printf.printf
               "wrote trace to %s (load it in chrome://tracing or \
                ui.perfetto.dev)\n"
@@ -153,8 +237,15 @@ let run_file path deadline algo beta seed iterations chart polish verbose
         | None -> ());
         (match metrics_out with
         | Some out ->
-            Batsched_obs.Openmetrics.write_file out;
+            Obs.Openmetrics.write_file out;
             Printf.printf "wrote OpenMetrics exposition to %s\n" out
+        | None -> ());
+        (match ledger_dir with
+        | Some dir ->
+            record_ledger ~dir ~path ~algo ~beta ~seed ~pool_n ~deadline
+              ~polish ~events_out
+              ~wall_s:(Unix.gettimeofday () -. wall0)
+              ~events sol
         | None -> ());
         Ok ()
       with
@@ -189,6 +280,12 @@ let beta_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let pool_arg =
+  Arg.(value & opt int 1
+       & info [ "pool" ] ~docv:"N"
+           ~doc:"Worker domains for the multistart fan-out (results are \
+                 bit-identical across pool sizes).")
+
 let iterations_arg =
   Arg.(value & flag
        & info [ "iterations" ] ~doc:"Print per-iteration details.")
@@ -209,13 +306,21 @@ let events_arg =
        & info [ "events" ] ~docv:"FILE"
            ~doc:"Write a JSONL convergence-event stream (one record per \
                  anneal level / iteration / trial; see EXPERIMENTS.md for \
-                 the schema).  Render with basched report.")
+                 the schema).  Render with basched report, or tail live \
+                 with basched watch.")
 
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write an OpenMetrics (Prometheus text format) exposition \
                  of all counters, histograms and GC gauges after the run.")
+
+let ledger_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Record a run manifest (provenance, outcome, counters, \
+                 convergence curve) in this ledger directory.  Inspect \
+                 with basched runs / basched profile.")
 
 let chart_arg =
   Arg.(value & flag
@@ -234,9 +339,17 @@ let dot_arg =
   Arg.(value & opt (some string) None
        & info [ "dot" ] ~docv:"OUT" ~doc:"Also write a Graphviz rendering.")
 
+(* ledger-reading subcommands share this flag; default to the env/home
+   ledger so `basched runs` works right after an instrumented run *)
+let ledger_dir_arg =
+  Arg.(value & opt string (Obs.Ledger.default_dir ())
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Ledger directory (default: \\$BATSCHED_LEDGER, else \
+                 ~/.basched/runs).")
+
 (* --- basched report: render an events stream as a summary table --- *)
 
-module J = Batsched_obs.Json
+module J = Obs.Json
 
 let num_or_nan name r = Option.value ~default:Float.nan (J.num_field name r)
 
@@ -257,12 +370,16 @@ let print_section records kind header line =
 
 let report_events path =
   match
-    (try Ok (J.of_jsonl_file path) with
-    | J.Bad_json msg -> Error (path ^ ": " ^ msg)
-    | Sys_error msg -> Error msg)
+    (try Ok (Obs.Tail.read_file path) with Sys_error msg -> Error msg)
   with
   | Error msg -> Error msg
-  | Ok records ->
+  | Ok (records, skipped) ->
+      (* a run killed mid-write leaves one torn trailing line; that is
+         data loss worth a warning, not a parse failure *)
+      if skipped > 0 then
+        Printf.eprintf
+          "basched: [warn] %s: skipped %d unparseable line(s) (torn tail?)\n"
+          path skipped;
       Printf.printf "%d event records from %s\n" (List.length records) path;
       let kinds =
         List.fold_left
@@ -303,6 +420,12 @@ let report_events path =
             (int_or_zero "trial" r) (num_or_nan "sigma" r)
             (num_or_nan "finish" r)
             (int_or_zero "iterations" r));
+      print_section records "sample"
+        (Printf.sprintf "%8s %8s %14s\n" "t_ms" "sample" "best_sigma")
+        (fun r ->
+          Printf.printf "%8.2f %8d %14.2f\n" (t_ms r)
+            (int_or_zero "sample" r)
+            (num_or_nan "best_sigma" r));
       print_section records "polish_round"
         (Printf.sprintf "%8s %6s %14s %9s\n" "t_ms" "round" "cost" "improved")
         (fun r ->
@@ -325,20 +448,256 @@ let report_events path =
       | None -> ());
       Ok ()
 
+(* --- basched runs: list / show / diff ledger manifests --- *)
+
+let opt_num_str = function
+  | Some f -> Printf.sprintf "%.2f" f
+  | None -> "-"
+
+let runs_list dir =
+  let entries, skipped = Obs.Ledger.load dir in
+  if skipped > 0 then
+    Printf.eprintf "basched: [warn] %s: skipped %d unreadable manifest(s)\n"
+      dir skipped;
+  if entries = [] then Printf.printf "no runs in %s\n" dir
+  else begin
+    Printf.printf "%-32s %-8s %-14s %12s %9s %8s\n" "id" "tool" "label"
+      "sigma" "wall_s" "git";
+    List.iter
+      (fun (e : Obs.Ledger.entry) ->
+        Printf.printf "%-32s %-8s %-14s %12s %9.3f %8s\n" e.Obs.Ledger.id
+          e.Obs.Ledger.e_tool e.Obs.Ledger.e_label
+          (opt_num_str e.Obs.Ledger.e_sigma)
+          e.Obs.Ledger.e_wall_s e.Obs.Ledger.git_rev)
+      entries
+  end;
+  Ok ()
+
+let runs_show dir id =
+  match Obs.Ledger.find dir id with
+  | Error msg -> Error msg
+  | Ok e ->
+      let open Obs.Ledger in
+      Printf.printf "id:            %s\n" e.id;
+      Printf.printf "tool:          %s %s\n" e.e_tool e.e_label;
+      Printf.printf "instance:      %s%s\n" e.e_instance
+        (if e.e_instance_hash = "" then ""
+         else Printf.sprintf " (%s)" e.e_instance_hash);
+      Printf.printf "model:         %s\n" e.e_model;
+      Printf.printf "seed:          %d   pool: %d   git: %s\n" e.e_seed
+        e.e_pool_size e.git_rev;
+      Printf.printf "wall:          %.3f s\n" e.e_wall_s;
+      Printf.printf "sigma:         %s   finish: %s\n"
+        (opt_num_str e.e_sigma) (opt_num_str e.e_finish);
+      (match e.e_events_path with
+      | Some p -> Printf.printf "events:        %s\n" p
+      | None -> ());
+      if e.e_knobs <> [] then begin
+        Printf.printf "knobs:\n";
+        List.iter (fun (k, v) -> Printf.printf "  %-24s %s\n" k v) e.e_knobs
+      end;
+      (match e.e_curve with
+      | [] -> ()
+      | curve ->
+          let t, ev, q = List.nth curve (List.length curve - 1) in
+          Printf.printf "curve:         %d improvement(s), last %.2f at \
+                         %.3fs / %.0f evals\n"
+            (List.length curve) q t ev);
+      let nonzero =
+        List.filter (fun (_, v) -> v <> 0.0) e.counters
+      in
+      if nonzero <> [] then begin
+        Printf.printf "counters:\n";
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-24s %12.0f\n" k v)
+          nonzero
+      end;
+      Ok ()
+
+let runs_diff dir a b =
+  match (Obs.Ledger.find dir a, Obs.Ledger.find dir b) with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok ea, Ok eb ->
+      let open Obs.Ledger in
+      Printf.printf "diff %s  vs  %s\n" ea.id eb.id;
+      let field name fa fb = if fa <> fb then
+          Printf.printf "  %-14s %s -> %s\n" name fa fb
+      in
+      field "tool" ea.e_tool eb.e_tool;
+      field "label" ea.e_label eb.e_label;
+      field "instance" ea.e_instance eb.e_instance;
+      field "model" ea.e_model eb.e_model;
+      field "git" ea.git_rev eb.git_rev;
+      field "seed" (string_of_int ea.e_seed) (string_of_int eb.e_seed);
+      field "pool" (string_of_int ea.e_pool_size)
+        (string_of_int eb.e_pool_size);
+      field "sigma" (opt_num_str ea.e_sigma) (opt_num_str eb.e_sigma);
+      field "wall_s" (Printf.sprintf "%.3f" ea.e_wall_s)
+        (Printf.sprintf "%.3f" eb.e_wall_s);
+      let keys l = List.map fst l in
+      List.iter
+        (fun k ->
+          let va = List.assoc_opt k ea.e_knobs
+          and vb = List.assoc_opt k eb.e_knobs in
+          if va <> vb then
+            Printf.printf "  knob %-14s %s -> %s\n" k
+              (Option.value ~default:"-" va) (Option.value ~default:"-" vb))
+        (List.sort_uniq compare (keys ea.e_knobs @ keys eb.e_knobs));
+      List.iter
+        (fun k ->
+          let va = Option.value ~default:0.0 (List.assoc_opt k ea.counters)
+          and vb = Option.value ~default:0.0 (List.assoc_opt k eb.counters) in
+          if va <> vb then
+            Printf.printf "  counter %-19s %12.0f -> %12.0f\n" k va vb)
+        (List.sort_uniq compare (keys ea.counters @ keys eb.counters));
+      Ok ()
+
+let runs_main dir action id_a id_b =
+  match (action, id_a, id_b) with
+  | "list", None, None -> runs_list dir
+  | "show", Some id, None -> runs_show dir id
+  | "diff", Some a, Some b -> runs_diff dir a b
+  | "show", None, _ -> Error "runs show: missing run id"
+  | "diff", _, _ -> Error "runs diff: need two run ids"
+  | a, _, _ -> Error (Printf.sprintf "runs: unknown action %S" a)
+
+(* --- basched profile: anytime comparison of two run cohorts --- *)
+
+(* A cohort name is a label (all runs whose label matches) or, failing
+   that, a run-id prefix resolving to a single run. *)
+let cohort dir name =
+  let entries, _ = Obs.Ledger.load dir in
+  match
+    List.filter (fun e -> e.Obs.Ledger.e_label = name) entries
+  with
+  | _ :: _ as es -> Ok es
+  | [] -> (
+      match Obs.Ledger.find dir name with
+      | Ok e -> Ok [ e ]
+      | Error msg -> Error msg)
+
+let profile_main dir a b axis =
+  match (cohort dir a, cohort dir b) with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok ea, Ok eb ->
+      print_string
+        (Obs.Profile.compare_to_string ~axis ~name_a:a ~name_b:b ea eb);
+      Ok ()
+
+(* --- basched watch: tail an events file into a live dashboard --- *)
+
+let watch_path dir last = function
+  | Some file -> Ok file
+  | None ->
+      if not last then Error "watch: pass an events FILE or --last"
+      else
+        let entries, _ = Obs.Ledger.load dir in
+        let with_events =
+          List.filter (fun e -> e.Obs.Ledger.e_events_path <> None) entries
+        in
+        (match List.rev with_events with
+        | e :: _ -> Ok (Option.get e.Obs.Ledger.e_events_path)
+        | [] -> Error ("watch --last: no run with an events file in " ^ dir))
+
+(* Replay: one gulp through the same fold the live path uses, then the
+   same summary — the equality the watch tests pin down. *)
+let watch_replay path =
+  match
+    (try Ok (Obs.Tail.read_file path) with Sys_error msg -> Error msg)
+  with
+  | Error msg -> Error msg
+  | Ok (records, skipped) ->
+      let st =
+        Obs.Dash.note_skipped (Obs.Dash.feed_all Obs.Dash.empty records)
+          skipped
+      in
+      if Unix.isatty Unix.stdout then print_string (Obs.Dash.render st);
+      print_string (Obs.Dash.summary st);
+      Ok ()
+
+(* Live: poll the file for appended bytes, feed them through the torn-
+   tolerant tailer, repaint on change.  Ends at the run_done record, or
+   after ~60s without growth (a writer that died without a terminal
+   record).  Frames only go to a tty; the summary always prints, so
+   watching from a pipe (or cram) yields exactly the replay output. *)
+let watch_live path interval_ms =
+  match
+    (try Ok (Unix.openfile path [ Unix.O_RDONLY ] 0)
+     with Unix.Unix_error (e, _, _) ->
+       Error (path ^ ": " ^ Unix.error_message e))
+  with
+  | Error msg -> Error msg
+  | Ok fd ->
+      let tty = Unix.isatty Unix.stdout in
+      let interval = Float.max 0.01 (float_of_int interval_ms /. 1000.0) in
+      let max_idle = int_of_float (Float.max 1.0 (60.0 /. interval)) in
+      let tailer = Obs.Tail.create () in
+      let buf = Bytes.create 65536 in
+      let st = ref Obs.Dash.empty in
+      let noted = ref 0 in
+      let idle = ref 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+      @@ fun () ->
+      let feed n =
+        let js = Obs.Tail.feed tailer (Bytes.sub_string buf 0 n) in
+        st := Obs.Dash.feed_all !st js;
+        let bad = Obs.Tail.bad tailer in
+        if bad > !noted then begin
+          st := Obs.Dash.note_skipped !st (bad - !noted);
+          noted := bad
+        end;
+        js <> []
+      in
+      let rec loop () =
+        let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+        if n > 0 then begin
+          idle := 0;
+          let changed = feed n in
+          if changed && tty then print_string (Obs.Dash.render !st);
+          if Obs.Dash.finished !st then ()
+          else loop ()
+        end
+        else if Obs.Dash.finished !st || !idle > max_idle then ()
+        else begin
+          incr idle;
+          Unix.sleepf interval;
+          loop ()
+        end
+      in
+      loop ();
+      (* a file that ends without a newline still contributes its last
+         line if it parses *)
+      st := Obs.Dash.feed_all !st (Obs.Tail.finish tailer);
+      let bad = Obs.Tail.bad tailer in
+      if bad > !noted then st := Obs.Dash.note_skipped !st (bad - !noted);
+      if tty then print_string (Obs.Dash.render !st);
+      print_string (Obs.Dash.summary !st);
+      Ok ()
+
+let watch_main dir file last replay interval_ms =
+  match watch_path dir last file with
+  | Error msg -> Error msg
+  | Ok path ->
+      if replay then watch_replay path else watch_live path interval_ms
+
+(* --- command wiring --- *)
+
 let run_term =
   Term.(
     const
-      (fun file deadline algo beta seed iterations chart polish verbose stats
-           trace events metrics dot ->
+      (fun file deadline algo beta seed pool iterations chart polish verbose
+           stats trace events metrics ledger dot ->
         match
-          run_file file deadline algo beta seed iterations chart polish
-            verbose stats trace events metrics dot
+          run_file file deadline algo beta seed pool iterations chart polish
+            verbose stats trace events metrics ledger dot
         with
         | Ok () -> `Ok ()
         | Error msg -> `Error (false, msg))
-    $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg
+    $ file_arg $ deadline_arg $ algo_arg $ beta_arg $ seed_arg $ pool_arg
     $ iterations_arg $ chart_arg $ polish_arg $ verbose_arg $ stats_arg
-    $ trace_arg $ events_arg $ metrics_arg $ dot_arg)
+    $ trace_arg $ events_arg $ metrics_arg $ ledger_arg $ dot_arg)
+
+let ret_of = function Ok () -> `Ok () | Error msg -> `Error (false, msg)
 
 let report_cmd =
   let events_file_arg =
@@ -350,30 +709,103 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Summarize a convergence event stream as per-phase tables")
     Term.(
+      ret (const (fun path -> ret_of (report_events path)) $ events_file_arg))
+
+let runs_cmd =
+  let action_arg =
+    Arg.(value & pos 0 string "list"
+         & info [] ~docv:"ACTION" ~doc:"list, show ID, or diff A B.")
+  in
+  let id_a_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ID")
+  in
+  let id_b_arg =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"ID2")
+  in
+  Cmd.v
+    (Cmd.info "runs" ~doc:"List, inspect and diff ledger run manifests")
+    Term.(
       ret
-        (const (fun path ->
-             match report_events path with
-             | Ok () -> `Ok ()
-             | Error msg -> `Error (false, msg))
-        $ events_file_arg))
+        (const (fun dir action a b -> ret_of (runs_main dir action a b))
+        $ ledger_dir_arg $ action_arg $ id_a_arg $ id_b_arg))
+
+let profile_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"A" ~doc:"First cohort: a run label or id prefix.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"B" ~doc:"Second cohort: a run label or id prefix.")
+  in
+  let axis_arg =
+    Arg.(value & opt (enum [ ("time", `Time); ("evals", `Evals) ]) `Evals
+         & info [ "axis" ] ~docv:"AXIS"
+             ~doc:"Budget axis: evals (pool-size-invariant, default) or \
+                   time (wall seconds).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Anytime convergence comparison of two ledger cohorts \
+             (quantile bands, ERT table, bootstrap dominance verdict)")
+    Term.(
+      ret
+        (const (fun dir a b axis -> ret_of (profile_main dir a b axis))
+        $ ledger_dir_arg $ a_arg $ b_arg $ axis_arg))
+
+let watch_cmd =
+  let file_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"EVENTS" ~doc:"Events file to tail.")
+  in
+  let last_arg =
+    Arg.(value & flag
+         & info [ "last" ]
+             ~doc:"Tail the events file of the most recent ledger run.")
+  in
+  let replay_arg =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:"Read the whole file once instead of tailing.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 200
+         & info [ "interval" ] ~docv:"MS" ~doc:"Polling interval.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Live terminal dashboard over a convergence event stream")
+    Term.(
+      ret
+        (const (fun dir file last replay interval ->
+             ret_of (watch_main dir file last replay interval))
+        $ ledger_dir_arg $ file_arg $ last_arg $ replay_arg $ interval_arg))
 
 let run_cmd =
   let doc =
-    "battery-aware task sequencing and design-point assignment (or: \
-     basched report EVENTS.jsonl to summarize a convergence stream)"
+    "battery-aware task sequencing and design-point assignment (also: \
+     basched report | runs | profile | watch for telemetry)"
   in
   Cmd.v (Cmd.info "basched" ~doc) (Term.ret run_term)
 
 (* Cmdliner groups reserve the first positional for the command name,
    which would break the historical `basched FILE --deadline D` CLI —
-   so the one subcommand is dispatched by hand. *)
+   so the subcommands are dispatched by hand. *)
+let subcommands =
+  [ ("report", report_cmd); ("runs", runs_cmd); ("profile", profile_cmd);
+    ("watch", watch_cmd) ]
+
 let () =
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "report" then begin
-    let argv =
-      Array.append
-        [| Sys.argv.(0) ^ " report" |]
-        (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
-    in
-    exit (Cmd.eval ~argv report_cmd)
-  end
-  else exit (Cmd.eval run_cmd)
+  match
+    if Array.length Sys.argv > 1 then
+      List.assoc_opt Sys.argv.(1) subcommands
+    else None
+  with
+  | Some cmd ->
+      let argv =
+        Array.append
+          [| Sys.argv.(0) ^ " " ^ Sys.argv.(1) |]
+          (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+      in
+      exit (Cmd.eval ~argv cmd)
+  | None -> exit (Cmd.eval run_cmd)

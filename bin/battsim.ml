@@ -29,14 +29,31 @@ let metrics_out_arg =
            ~doc:"Write an OpenMetrics (Prometheus text format) exposition \
                  of all counters, histograms and GC gauges.")
 
-let with_obs ~label stats trace_out metrics_out f =
+let ledger_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Record a run manifest (tool, knobs, counters, wall time) \
+                 in this ledger directory (also via BATSCHED_LEDGER).")
+
+let with_obs ~label ~knobs stats trace_out metrics_out ledger_out f =
   Batsched_obs.Log.init_from_env ();
   let stats = stats || Batsched_obs.Log.env_stats () in
+  let metrics_out =
+    match metrics_out with
+    | Some _ -> metrics_out
+    | None -> Batsched_obs.Log.env_opt "BATSCHED_METRICS"
+  in
+  let ledger_out =
+    match ledger_out with
+    | Some _ -> ledger_out
+    | None -> Batsched_obs.Log.env_opt "BATSCHED_LEDGER"
+  in
   let obs =
     if stats || trace_out <> None then Batsched_obs.Sink.create ()
     else Batsched_obs.Sink.noop
   in
   if stats || metrics_out <> None then Batsched_obs.Histogram.enable ();
+  let wall0 = Unix.gettimeofday () in
   let result = Batsched_obs.Sink.with_span obs label f in
   (match result with
   | `Ok () ->
@@ -53,6 +70,29 @@ let with_obs ~label stats trace_out metrics_out f =
       | Some out ->
           Batsched_obs.Openmetrics.write_file out;
           Printf.printf "wrote OpenMetrics exposition to %s\n" out
+      | None -> ());
+      (match ledger_out with
+      | Some dir -> (
+          let spec =
+            { Batsched_obs.Ledger.tool = "battsim";
+              label;
+              instance = "";
+              instance_hash = "";
+              model =
+                Option.value ~default:"" (List.assoc_opt "model" knobs);
+              seed = 0;
+              pool_size = 1;
+              knobs;
+              wall_s = Unix.gettimeofday () -. wall0;
+              sigma = None;
+              finish = None;
+              events_path = None;
+              curve = [] }
+          in
+          match Batsched_obs.Ledger.record ~dir spec with
+          | Ok id -> Printf.printf "ledger: recorded %s in %s\n" id dir
+          | Error msg ->
+              Printf.eprintf "battsim: [warn] ledger write failed: %s\n" msg)
       | None -> ())
   | _ -> ());
   result
@@ -85,8 +125,14 @@ let model_arg =
            ~doc:"rakhmatov, kibam, peukert, pde or ideal.")
 
 (* lifetime *)
-let lifetime current alpha beta model_name stats trace_out metrics_out =
-  with_obs ~label:"lifetime" stats trace_out metrics_out @@ fun () ->
+let lifetime current alpha beta model_name stats trace_out metrics_out ledger =
+  with_obs ~label:"lifetime"
+    ~knobs:
+      [ ("model", model_name); ("current", Printf.sprintf "%g" current);
+        ("alpha", Printf.sprintf "%g" alpha);
+        ("beta", Printf.sprintf "%g" beta) ]
+    stats trace_out metrics_out ledger
+  @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -110,7 +156,7 @@ let lifetime_cmd =
     Term.(
       ret
         (const lifetime $ current_arg $ alpha_arg $ beta_arg $ model_arg
-         $ stats_arg $ trace_out_arg $ metrics_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg $ ledger_arg))
 
 (* sigma *)
 let parse_load s =
@@ -120,8 +166,14 @@ let parse_load s =
       with Failure _ -> Error ("bad load: " ^ s))
   | _ -> Error ("bad load (want I:D): " ^ s)
 
-let sigma loads beta idle model_name stats trace_out metrics_out =
-  with_obs ~label:"sigma" stats trace_out metrics_out @@ fun () ->
+let sigma loads beta idle model_name stats trace_out metrics_out ledger =
+  with_obs ~label:"sigma"
+    ~knobs:
+      [ ("model", model_name); ("beta", Printf.sprintf "%g" beta);
+        ("idle", Printf.sprintf "%g" idle);
+        ("loads", string_of_int (List.length loads)) ]
+    stats trace_out metrics_out ledger
+  @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model -> (
@@ -166,11 +218,17 @@ let sigma_cmd =
     Term.(
       ret
         (const sigma $ loads_arg $ beta_arg $ idle_arg $ model_arg
-         $ stats_arg $ trace_out_arg $ metrics_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg $ ledger_arg))
 
 (* curve *)
-let curve current beta points model_name stats trace_out metrics_out =
-  with_obs ~label:"curve" stats trace_out metrics_out @@ fun () ->
+let curve current beta points model_name stats trace_out metrics_out ledger =
+  with_obs ~label:"curve"
+    ~knobs:
+      [ ("model", model_name); ("current", Printf.sprintf "%g" current);
+        ("beta", Printf.sprintf "%g" beta);
+        ("points", string_of_int points) ]
+    stats trace_out metrics_out ledger
+  @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -196,12 +254,20 @@ let curve_cmd =
     Term.(
       ret
         (const curve $ current_arg $ beta_arg $ points_arg $ model_arg
-         $ stats_arg $ trace_out_arg $ metrics_out_arg))
+         $ stats_arg $ trace_out_arg $ metrics_out_arg $ ledger_arg))
 
 (* cycles: periodic-mission endurance *)
 let cycles current burst period alpha beta model_name stats trace_out
-    metrics_out =
-  with_obs ~label:"cycles" stats trace_out metrics_out @@ fun () ->
+    metrics_out ledger =
+  with_obs ~label:"cycles"
+    ~knobs:
+      [ ("model", model_name); ("current", Printf.sprintf "%g" current);
+        ("burst", Printf.sprintf "%g" burst);
+        ("period", Printf.sprintf "%g" period);
+        ("alpha", Printf.sprintf "%g" alpha);
+        ("beta", Printf.sprintf "%g" beta) ]
+    stats trace_out metrics_out ledger
+  @@ fun () ->
   match model_of model_name beta with
   | Error msg -> `Error (false, msg)
   | Ok model ->
@@ -237,7 +303,7 @@ let cycles_cmd =
       ret
         (const cycles $ current_arg $ burst_arg $ period_arg $ alpha_arg
          $ beta_arg $ model_arg $ stats_arg $ trace_out_arg
-         $ metrics_out_arg))
+         $ metrics_out_arg $ ledger_arg))
 
 let main =
   Cmd.group

@@ -114,6 +114,7 @@ let emit_start events ~mode ~n ~m ~params =
       [ ("mode", Events.S mode); ("n", Events.I n); ("m", Events.I m);
         ("t0", Events.F params.initial_temperature);
         ("cooling", Events.F params.cooling);
+        ("floor", Events.F params.temperature_floor);
         ("steps_per_temp", Events.I params.steps_per_temperature) ]
 
 let emit_level events ~mode ~level ~temperature ~evals ~lvl_acc ~lvl_rej

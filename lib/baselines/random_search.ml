@@ -1,8 +1,23 @@
 open Batsched_numeric
 open Batsched_taskgraph
 open Batsched_sched
+module Events = Batsched_obs.Events
 
 exception No_feasible_sample
+
+(* Convergence records mirror the annealing ones: emission reads the
+   draw index and the best sigma, never the RNG, so an instrumented
+   run draws exactly the same stream as a bare one. *)
+let emit_start events ~mode ~samples =
+  if Events.is_active events then
+    Events.emit events "random_start"
+      [ ("mode", Events.S mode); ("samples", Events.I samples) ]
+
+let emit_best events ~sample ~best_sigma =
+  if Events.is_active events then
+    Events.emit events "sample"
+      [ ("sample", Events.I sample); ("samples", Events.I sample);
+        ("best_sigma", Events.F best_sigma) ]
 
 let random_sequence ~rng g =
   let n = Graph.num_tasks g in
@@ -50,9 +65,10 @@ let random_feasible_assignment ~rng g ~deadline =
   | Some cols -> Some (Assignment.of_list g cols)
   | None -> None
 
-let run_reference ~samples ~rng ~model g ~deadline =
+let run_reference ~samples ~rng ~model ~events g ~deadline =
+  emit_start events ~mode:"reference" ~samples;
   let best = ref None in
-  for _ = 1 to samples do
+  for sample = 1 to samples do
     match random_feasible_assignment ~rng g ~deadline with
     | None -> ()
     | Some assignment ->
@@ -62,7 +78,9 @@ let run_reference ~samples ~rng ~model g ~deadline =
         in
         (match !best with
         | Some b when b.Solution.sigma <= sol.Solution.sigma -> ()
-        | _ -> best := Some sol)
+        | _ ->
+            best := Some sol;
+            emit_best events ~sample ~best_sigma:sol.Solution.sigma)
   done;
   match !best with Some s -> s | None -> raise No_feasible_sample
 
@@ -71,10 +89,11 @@ let run_reference ~samples ~rng ~model g ~deadline =
    sampler yields topological orders by construction, so [unsafe_make]
    applies), profile allocation, or solution record.  Only the winner
    is materialized, through the full model path. *)
-let run_delta ~samples ~rng ~model g ~deadline =
+let run_delta ~samples ~rng ~model ~events g ~deadline =
+  emit_start events ~mode:"delta" ~samples;
   let ev = ref None in
   let best = ref None in
-  for _ = 1 to samples do
+  for sample = 1 to samples do
     match random_feasible_assignment ~rng g ~deadline with
     | None -> ()
     | Some assignment ->
@@ -93,13 +112,16 @@ let run_delta ~samples ~rng ~model g ~deadline =
         let sigma = Eval.sigma e in
         (match !best with
         | Some (best_sigma, _) when best_sigma <= sigma -> ()
-        | _ -> best := Some (sigma, sched))
+        | _ ->
+            best := Some (sigma, sched);
+            emit_best events ~sample ~best_sigma:sigma)
   done;
   match !best with
   | Some (_, sched) -> Solution.of_schedule ~model g sched
   | None -> raise No_feasible_sample
 
-let run ?(samples = 200) ?(eval = `Delta) ~rng ~model g ~deadline =
+let run ?(samples = 200) ?(eval = `Delta) ?(events = Events.noop) ~rng ~model
+    g ~deadline =
   match eval with
-  | `Delta -> run_delta ~samples ~rng ~model g ~deadline
-  | `Reference -> run_reference ~samples ~rng ~model g ~deadline
+  | `Delta -> run_delta ~samples ~rng ~model ~events g ~deadline
+  | `Reference -> run_reference ~samples ~rng ~model ~events g ~deadline

@@ -15,6 +15,7 @@ val random_sequence : rng:Batsched_numeric.Rng.t -> Graph.t -> int list
 
 val run :
   ?samples:int -> ?eval:[ `Delta | `Reference ] ->
+  ?events:Batsched_obs.Events.t ->
   rng:Batsched_numeric.Rng.t -> model:Model.t -> Graph.t ->
   deadline:float -> Solution.t
 (** [run ~rng ~model g ~deadline] draws [samples] (default 200)
@@ -27,4 +28,8 @@ val run :
     materializes only the winner through the full model; [`Reference]
     keeps the original schedule-per-sample path.  Both consume the
     same RNG stream and agree up to sigma round-off.
+
+    [events] receives one [random_start] record plus a [sample] record
+    per best-so-far improvement; emission never touches the RNG, so an
+    instrumented run is bit-identical to a bare one.
     @raise No_feasible_sample. *)

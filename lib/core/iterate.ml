@@ -210,19 +210,34 @@ let run_multistart ?(on_iteration = fun _ -> ()) ?screen ~rng ~starts
               screen_seeds ~rng ~screen:s ~keep:(starts - 1) cfg g)
   in
   let seeds = Priorities.sequence_dec_energy g :: random_seeds in
+  if Events.is_active cfg.Config.events then
+    Events.emit cfg.Config.events "multistart_start"
+      [ ("starts", Events.I (List.length seeds));
+        ("pool", Events.I (Batsched_numeric.Pool.size cfg.Config.pool)) ];
   let runs =
     Batsched_numeric.Pool.map_list cfg.Config.pool
       (fun (trial, initial) ->
         Sink.with_span cfg.Config.obs "start" (fun () ->
+            (* the clock is only read with events on, and emission never
+               touches the RNG, so instrumented and uninstrumented runs
+               stay bit-identical (property-tested) *)
+            let ev_on = Events.is_active cfg.Config.events in
+            let t0 = if ev_on then Events.now_ns () else 0L in
             let r = run_from ~on_iteration ~initial cfg g in
             (* per-trial convergence record; [Events.emit] is
                mutex-protected, so pool workers may emit freely *)
-            if Events.is_active cfg.Config.events then
+            if ev_on then begin
+              let dur_ms =
+                Int64.to_float (Int64.sub (Events.now_ns ()) t0) /. 1e6
+              in
               Events.emit cfg.Config.events "trial"
                 [ ("trial", Events.I trial);
                   ("sigma", Events.F r.sigma);
                   ("finish", Events.F r.finish);
-                  ("iterations", Events.I (List.length r.iterations)) ];
+                  ("iterations", Events.I (List.length r.iterations));
+                  ("worker", Events.I (Batsched_numeric.Pool.worker_index ()));
+                  ("dur_ms", Events.F dur_ms) ]
+            end;
             r))
       (List.mapi (fun i s -> (i, s)) seeds)
   in

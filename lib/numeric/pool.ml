@@ -17,6 +17,13 @@ let size t = t.requested
    machine (and so the worker-count arithmetic stays deterministic). *)
 let inside_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Which worker slot this domain occupies within the current region;
+   0 outside any region (the calling domain doubles as worker 0).
+   Observability only — telemetry tags records with it. *)
+let current_worker : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker_index () = Domain.DLS.get current_worker
+
 (* Observability hooks, run inside each worker domain around its slice
    of a parallel region.  [Batsched_obs.Sink] installs hooks that tag
    the worker's trace track and flush its span buffer before the domain
@@ -43,6 +50,7 @@ let map_array pool f xs =
        so striding balances better than contiguous chunks. *)
     let slice w () =
       Domain.DLS.set inside_region true;
+      Domain.DLS.set current_worker w;
       !worker_start w;
       Fun.protect
         ~finally:(fun () ->
@@ -51,6 +59,7 @@ let map_array pool f xs =
              observability layer collect their spans.  Integer merges
              commute, so the totals are join-order-independent. *)
           Probe.drain_local ();
+          Domain.DLS.set current_worker 0;
           !worker_finish w)
         (fun () ->
           let i = ref w in

@@ -57,6 +57,11 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     each worker domain {!Probe.drain_local}s its counters before it
     exits, so per-domain work counts survive the join. *)
 
+val worker_index : unit -> int
+(** The calling domain's worker slot within the current parallel
+    region ([0] = the calling domain), [0] outside any region.  Used
+    to tag telemetry records with which worker produced them. *)
+
 val set_worker_hooks :
   on_start:(int -> unit) -> on_finish:(int -> unit) -> unit
 (** Install hooks run {e inside} each worker domain around its slice of

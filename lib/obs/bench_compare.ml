@@ -33,6 +33,7 @@ type row = {
   r_square : float;
   low_confidence : bool;
   ns_per_run_first : float option;
+  counters : (string * float) list;
 }
 
 type verdict = Improved | Flat | Regressed | Low_confidence
@@ -46,12 +47,20 @@ type comparison = {
   verdict : verdict;
 }
 
+type counter_diff = {
+  cd_scenario : string;
+  cd_counter : string;
+  cd_old : float;
+  cd_new : float;
+}
+
 type report = {
   joined : comparison list;
   pairs : comparison list;
   added : string list;
   removed : string list;
   norm_factor : float option;
+  work : counter_diff list;
 }
 
 let group_prefix = "batsched/"
@@ -71,7 +80,14 @@ let row_of_json j =
           r_square = Option.value ~default:1.0 (Json.num_field "r_square" j);
           low_confidence =
             Option.value ~default:false (Json.bool_field "low_confidence" j);
-          ns_per_run_first = Json.num_field "ns_per_run_first" j }
+          ns_per_run_first = Json.num_field "ns_per_run_first" j;
+          counters =
+            (match Json.field "counters" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) -> Option.map (fun v -> (k, v)) (Json.to_num v))
+                  kvs
+            | _ -> []) }
   | _ -> None
 
 let rows_of_json j =
@@ -194,7 +210,34 @@ let compare_rows ?(normalize = false) old_rows new_rows =
       (fun r -> if find new_rows r.name = None then Some r.name else None)
       old_rows
   in
-  { joined; pairs; added; removed; norm_factor }
+  (* Work-profile diff: counter snapshots are deterministic work, so a
+     changed count is an algorithmic change, not machine noise.  Purely
+     informational — it contextualizes a timing verdict ("regressed
+     because it now does 2x the sigma evals") but never gates.  The
+     allocation-word counters wobble by a few words on cache warm-up,
+     hence the small relative+absolute floor. *)
+  let work =
+    List.concat_map
+      (fun name ->
+        match (find old_rows name, find new_rows name) with
+        | Some o, Some n when o.counters <> [] && n.counters <> [] ->
+            List.filter_map
+              (fun (k, ov) ->
+                match List.assoc_opt k n.counters with
+                | Some nv
+                  when Float.abs (nv -. ov)
+                       > Float.max 0.5
+                           (0.005 *. Float.max (Float.abs ov) (Float.abs nv))
+                  ->
+                    Some
+                      { cd_scenario = name; cd_counter = k; cd_old = ov;
+                        cd_new = nv }
+                | _ -> None)
+              o.counters
+        | _ -> [])
+      joined_names
+  in
+  { joined; pairs; added; removed; norm_factor; work }
 
 let compare_files ?normalize old_path new_path =
   compare_rows ?normalize (load_file old_path) (load_file new_path)
@@ -244,6 +287,26 @@ let to_string report =
   in
   listing "added" report.added;
   listing "removed" report.removed;
+  if report.work <> [] then begin
+    Printf.bprintf buf "work-profile changes (informational, never gates)\n";
+    let width =
+      List.fold_left
+        (fun acc d ->
+          max acc (String.length d.cd_scenario + String.length d.cd_counter + 1))
+        0 report.work
+    in
+    List.iter
+      (fun d ->
+        let label = d.cd_scenario ^ " " ^ d.cd_counter in
+        let ratio =
+          if d.cd_old <> 0.0 then
+            Printf.sprintf "%7.3fx" (d.cd_new /. d.cd_old)
+          else "     new"
+        in
+        Printf.bprintf buf "  %-*s %14.0f -> %14.0f  %s\n" width label d.cd_old
+          d.cd_new ratio)
+      report.work
+  end;
   let count v =
     List.length
       (List.filter (fun c -> c.verdict = v) (report.joined @ report.pairs))

@@ -24,6 +24,9 @@ type row = {
   low_confidence : bool;
   ns_per_run_first : float option;
       (** first estimate, when the rerun guard re-measured the row *)
+  counters : (string * float) list;
+      (** the row's work-profile snapshot (the ["counters"] object);
+          deterministic per scenario, so diffs are algorithmic changes *)
 }
 
 type verdict = Improved | Flat | Regressed | Low_confidence
@@ -37,6 +40,13 @@ type comparison = {
   verdict : verdict;
 }
 
+type counter_diff = {
+  cd_scenario : string;
+  cd_counter : string;
+  cd_old : float;
+  cd_new : float;
+}
+
 type report = {
   joined : comparison list;  (** rows present in both snapshots *)
   pairs : comparison list;  (** in-file reference pairs of the new one *)
@@ -44,6 +54,10 @@ type report = {
   removed : string list;
   norm_factor : float option;
       (** the median ratio divided out, when [~normalize] was set *)
+  work : counter_diff list;
+      (** counters that changed between joined rows — informational
+          context for the timing verdicts; never affects
+          {!has_confident_regression} *)
 }
 
 val row_of_json : Json.t -> row option

@@ -1,0 +1,321 @@
+(* Live terminal dashboard state for [basched watch].
+
+   The invariant that makes watching trustworthy: all displayed state
+   is a {e pure fold} over the event records fed in.  No wall clock is
+   read, no hidden accumulator depends on chunk boundaries — so
+   tailing a live file byte-by-byte and replaying the finished file in
+   one gulp land in identical states, and the final {!summary} printed
+   by both paths is the same string.  That agreement is
+   property-tested over random chunkings.
+
+   Rendering is split off from state: {!summary} is the plain-text
+   final report; {!render} paints one ANSI frame (home + clear-to-end,
+   no full-screen clear, so the terminal does not flicker at watch
+   cadence).  Hand-rolled escapes — no curses dependency. *)
+
+type t = {
+  records : int;
+  last_t_ns : int64;
+  mode : string option;       (* searcher label from the start record *)
+  best_sigma : float option;
+  best_finish : float option;
+  accepted : int;
+  rejected : int;
+  levels : int;               (* annealing temperature levels seen *)
+  levels_total : int option;  (* derived from t0/cooling/floor *)
+  evals : float;              (* cumulative, from the records *)
+  starts : int option;        (* expected multistart trials *)
+  trials : int;
+  trial_ms : float list;      (* recent trial durations, newest first *)
+  workers : (int * int) list; (* worker index -> trials completed *)
+  iterations : int;
+  finished : bool;
+  skipped : int;              (* torn/corrupt lines, via {!note_skipped} *)
+  hists : (string * (float * float * float * float)) list;
+      (* name -> (count, p50, p99, max), from terminal hist records *)
+}
+
+let empty =
+  { records = 0; last_t_ns = 0L; mode = None; best_sigma = None;
+    best_finish = None; accepted = 0; rejected = 0; levels = 0;
+    levels_total = None; evals = 0.0; starts = None; trials = 0;
+    trial_ms = []; workers = []; iterations = 0; finished = false;
+    skipped = 0; hists = [] }
+
+let note_skipped t n = { t with skipped = t.skipped + n }
+
+let max_spark = 32
+
+let better cur cand =
+  match cur with Some c when c <= cand -> cur | _ -> Some cand
+
+(* number of levels a geometric cooling schedule will run:
+   t0 * cooling^k > floor while k < total *)
+let cooling_levels ~t0 ~cooling ~floor =
+  if t0 <= floor || cooling <= 0.0 || cooling >= 1.0 then None
+  else Some (1 + int_of_float (Float.floor (log (floor /. t0) /. log cooling)))
+
+let bump_worker ws w =
+  let cur = match List.assoc_opt w ws with Some c -> c | None -> 0 in
+  (w, cur + 1) :: List.remove_assoc w ws
+
+let update t j =
+  let num name = Json.num_field name j in
+  let int name = Option.map int_of_float (num name) in
+  let t =
+    { t with
+      records = t.records + 1;
+      last_t_ns =
+        (match num "t_ns" with
+        | Some ns -> Int64.of_float (Float.max ns (Int64.to_float t.last_t_ns))
+        | None -> t.last_t_ns) }
+  in
+  match Json.str_field "kind" j with
+  | Some "anneal_start" ->
+      let levels_total =
+        match (num "t0", num "cooling", num "floor") with
+        | Some t0, Some cooling, Some floor ->
+            cooling_levels ~t0 ~cooling ~floor
+        | _ -> None
+      in
+      { t with mode = Some (Option.value ~default:"anneal"
+                              (Json.str_field "mode" j));
+               levels_total }
+  | Some "anneal_level" ->
+      { t with
+        levels = t.levels + 1;
+        accepted = t.accepted + Option.value ~default:0 (int "accepted");
+        rejected = t.rejected + Option.value ~default:0 (int "rejected");
+        evals = (match num "evals" with Some e -> e | None -> t.evals);
+        best_sigma =
+          (match num "best_sigma" with
+          | Some s -> better t.best_sigma s
+          | None -> t.best_sigma) }
+  | Some "anneal_done" ->
+      { t with
+        evals = (match num "evals" with Some e -> e | None -> t.evals);
+        best_sigma =
+          (match num "best_sigma" with
+          | Some s -> better t.best_sigma s
+          | None -> t.best_sigma) }
+  | Some "multistart_start" ->
+      { t with mode = Some "multistart"; starts = int "starts" }
+  | Some "random_start" ->
+      { t with
+        mode = Some (match Json.str_field "mode" j with
+                    | Some m -> "random/" ^ m
+                    | None -> "random");
+        starts = int "samples" }
+  | Some "sample" ->
+      { t with
+        trials = (match int "sample" with Some s -> max s t.trials
+                                        | None -> t.trials);
+        evals = (match num "samples" with Some s -> s | None -> t.evals);
+        best_sigma =
+          (match num "best_sigma" with
+          | Some s -> better t.best_sigma s
+          | None -> t.best_sigma) }
+  | Some "trial" ->
+      let t =
+        match num "sigma" with
+        | Some s ->
+            { t with
+              best_sigma = better t.best_sigma s;
+              best_finish =
+                (match (t.best_sigma, num "finish") with
+                | Some b, Some f when s <= b -> Some f
+                | _ -> t.best_finish) }
+        | None -> t
+      in
+      { t with
+        trials = t.trials + 1;
+        evals = t.evals +. Option.value ~default:1.0 (num "iterations");
+        trial_ms =
+          (match num "dur_ms" with
+          | Some d ->
+              let keep =
+                if List.length t.trial_ms >= max_spark then
+                  List.filteri (fun i _ -> i < max_spark - 1) t.trial_ms
+                else t.trial_ms
+              in
+              d :: keep
+          | None -> t.trial_ms);
+        workers =
+          (match int "worker" with
+          | Some w -> bump_worker t.workers w
+          | None -> t.workers) }
+  | Some "multistart_done" ->
+      { t with
+        starts = (match int "starts" with Some s -> Some s | None -> t.starts);
+        best_sigma =
+          (match num "best_sigma" with
+          | Some s -> better t.best_sigma s
+          | None -> t.best_sigma) }
+  | Some "run_done" ->
+      { t with
+        finished = true;
+        best_sigma =
+          (match num "sigma" with
+          | Some s -> better t.best_sigma s
+          | None -> t.best_sigma);
+        best_finish =
+          (match num "finish" with Some f -> Some f | None -> t.best_finish) }
+  | Some "iteration" -> { t with iterations = t.iterations + 1 }
+  | Some "hist" -> (
+      match Json.str_field "name" j with
+      | Some name ->
+          let g k = Option.value ~default:0.0 (num k) in
+          { t with
+            hists =
+              (name, (g "count", g "p50", g "p99", g "max"))
+              :: List.remove_assoc name t.hists }
+      | None -> t)
+  | _ -> t
+
+let feed_all t js = List.fold_left update t js
+
+(* --- derived, still pure --- *)
+
+let finished t = t.finished
+
+let elapsed_s t = Int64.to_float t.last_t_ns *. 1e-9
+
+let accept_rate t =
+  let n = t.accepted + t.rejected in
+  if n = 0 then None else Some (float_of_int t.accepted /. float_of_int n)
+
+(* fraction of the run completed, from whichever progress notion the
+   stream carries — annealing levels or multistart trials *)
+let progress t =
+  match (t.levels_total, t.starts) with
+  | Some total, _ when total > 0 && t.levels > 0 ->
+      Some (Float.min 1.0 (float_of_int t.levels /. float_of_int total))
+  | _, Some starts when starts > 0 ->
+      Some (Float.min 1.0 (float_of_int t.trials /. float_of_int starts))
+  | _ -> None
+
+(* remaining stream-time estimate: elapsed scaled by remaining work.
+   Uses only record timestamps, so live and replay agree. *)
+let eta_s t =
+  if t.finished then Some 0.0
+  else
+    match progress t with
+    | Some p when p > 0.0 ->
+        Some (elapsed_s t *. (1.0 -. p) /. p)
+    | _ -> None
+
+(* --- rendering --- *)
+
+let fnum f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "-"
+
+let opt_num = function Some f -> fnum f | None -> "-"
+
+let summary t =
+  let buf = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf s;
+                      Buffer.add_char buf '\n') fmt
+  in
+  line "run %s: %d records, %.3fs stream time%s"
+    (match t.mode with Some m -> m | None -> "?")
+    t.records (elapsed_s t)
+    (if t.finished then ", finished" else "");
+  line "  best sigma %s  finish %s  evals %s" (opt_num t.best_sigma)
+    (opt_num t.best_finish) (fnum t.evals);
+  (match accept_rate t with
+  | Some r ->
+      line "  accepted %d / rejected %d (rate %.3f) over %d levels"
+        t.accepted t.rejected r t.levels
+  | None -> ());
+  if t.trials > 0 then
+    line "  trials %d%s" t.trials
+      (match t.starts with
+      | Some s -> Printf.sprintf " of %d" s
+      | None -> "");
+  if t.workers <> [] then
+    line "  workers %s"
+      (String.concat " "
+         (List.map
+            (fun (w, c) -> Printf.sprintf "%d:%d" w c)
+            (List.sort compare t.workers)));
+  if t.skipped > 0 then line "  skipped %d unparseable line(s)" t.skipped;
+  List.iter
+    (fun (name, (count, p50, p99, mx)) ->
+      line "  hist %s: count %s p50 %s p99 %s max %s" name (fnum count)
+        (fnum p50) (fnum p99) (fnum mx))
+    (List.sort compare t.hists);
+  Buffer.contents buf
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let span = if hi > lo then hi -. lo else 1.0 in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let i =
+               int_of_float ((v -. lo) /. span *. 7.0 +. 0.5)
+             in
+             spark_levels.(max 0 (min 7 i)))
+           values)
+
+let bar width frac =
+  let full = int_of_float (frac *. float_of_int width +. 0.5) in
+  let full = max 0 (min width full) in
+  String.concat ""
+    [ String.concat "" (List.init full (fun _ -> "\xe2\x96\x88"));
+      String.make (width - full) ' ' ]
+
+let render ?(width = 72) t =
+  let buf = Buffer.create 512 in
+  (* home + clear-to-end per frame: repaint without flicker *)
+  Buffer.add_string buf "\x1b[H\x1b[J";
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf s;
+                      Buffer.add_string buf "\x1b[K\n") fmt
+  in
+  line "\x1b[1mbasched watch\x1b[0m  %s  %s"
+    (match t.mode with Some m -> m | None -> "waiting for events...")
+    (if t.finished then "\x1b[32mfinished\x1b[0m" else "\x1b[33mrunning\x1b[0m");
+  line "";
+  line "  best sigma   \x1b[1m%s\x1b[0m   finish %s" (opt_num t.best_sigma)
+    (opt_num t.best_finish);
+  line "  stream time  %.3fs   records %d   evals %s" (elapsed_s t) t.records
+    (fnum t.evals);
+  (match accept_rate t with
+  | Some r ->
+      line "  accept rate  %.3f   (%d acc / %d rej, %d levels)" r t.accepted
+        t.rejected t.levels
+  | None -> ());
+  (match progress t with
+  | Some p ->
+      line "  progress     [%s] %3.0f%%%s" (bar (width - 30) p) (100.0 *. p)
+        (match eta_s t with
+        | Some e when e > 0.0 -> Printf.sprintf "  eta ~%.1fs" e
+        | _ -> "")
+  | None -> ());
+  if t.trial_ms <> [] then
+    line "  trial ms     %s  (last %s)" (sparkline (List.rev t.trial_ms))
+      (fnum (List.hd t.trial_ms));
+  if t.workers <> [] then begin
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 t.workers in
+    line "  workers      (trials per worker)";
+    List.iter
+      (fun (w, c) ->
+        let frac =
+          if total = 0 then 0.0 else float_of_int c /. float_of_int total
+        in
+        line "    w%-2d [%s] %d" w (bar (width - 40) frac) c)
+      (List.sort compare t.workers)
+  end;
+  if t.skipped > 0 then
+    line "  \x1b[33mskipped %d unparseable line(s)\x1b[0m" t.skipped;
+  Buffer.contents buf

@@ -4,17 +4,29 @@
    the quality-vs-time trajectory, not the endpoint.  Emission sites
    (annealing temperature levels, multistart trials, polish rounds,
    choose calls) are orders of magnitude rarer than evaluations, but
-   they sit inside timed search loops, so [emit] must stay in the
-   hundreds-of-ns range: it only stamps the clock and conses the raw
-   record under the mutex.  All JSON rendering happens once, at
-   {!close} — which loses nothing, because the channel was never
-   flushed mid-run anyway (a crash costs the stream in either design).
-   Memory stays bounded by the record count: tens to a few thousand
-   per run, never per-evaluation.
+   they sit inside timed search loops, so [emit] must stay cheap: it
+   stamps the clock outside the lock and conses the raw record inside.
 
-   Like [Sink], the noop value makes instrumentation free when off:
-   call sites guard with {!is_active} so they do not even build the
-   field list. *)
+   Three sinks share that protocol:
+
+   - [create path] (live): each record is additionally rendered and
+     flushed to [path] at emission, so an external tailer ([basched
+     watch], `tail -f`) sees the stream while the run is in flight.
+     Line writes happen whole under the mutex, so a reader can at worst
+     observe one torn trailing line mid-[output], never an interleaved
+     one.  Rendering costs ~1us per record, which the rare emission
+     sites absorb.
+   - [create ~live:false path] (buffered): the PR-7 behavior — records
+     cons in memory and render once at {!close}.  For benchmarking the
+     emission path itself.
+   - [create_memory ()]: no file at all; the records exist only for
+     {!snapshot}.  The run ledger uses this to extract a convergence
+     curve when the caller did not ask for an events file.
+
+   Memory stays bounded by the record count: tens to a few thousand
+   per run, never per-evaluation.  Like [Sink], the noop value makes
+   instrumentation free when off: call sites guard with {!is_active}
+   so they do not even build the field list. *)
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -25,8 +37,13 @@ type record = {
   fields : (string * field) list;
 }
 
+type mode =
+  | Buffered of out_channel
+  | Live of out_channel
+  | Memory
+
 type state = {
-  oc : out_channel;
+  mode : mode;
   mutex : Mutex.t;
   epoch_ns : int64;
   mutable seq : int;
@@ -39,35 +56,28 @@ let noop = Noop
 
 let is_active = function Noop -> false | Active _ -> true
 
-let create path =
-  let oc = open_out path in
+let now_ns () = Monotonic_clock.now ()
+
+let make mode =
   Active
-    { oc;
+    { mode;
       mutex = Mutex.create ();
       epoch_ns = Monotonic_clock.now ();
       seq = 0;
       records = [] }
 
-(* Multiple domains may emit (multistart trials run on pool workers):
-   the clock read happens outside the lock, the seq stamp and the cons
-   inside, so the file order at close is the seq order. *)
-let emit t kind fields =
-  match t with
-  | Noop -> ()
-  | Active st ->
-      let now = Monotonic_clock.now () in
-      let t_ns = Int64.sub now st.epoch_ns in
-      Mutex.lock st.mutex;
-      let seq = st.seq in
-      st.seq <- seq + 1;
-      st.records <- { seq; t_ns; kind; fields } :: st.records;
-      Mutex.unlock st.mutex
+let create ?(live = true) path =
+  let oc = open_out path in
+  make (if live then Live oc else Buffered oc)
 
-(* Close-time rendering helpers.  Strings are almost always plain
-   identifiers, so the escape scan avoids [Json.escape_string]'s
-   allocation on that path; [Float.to_string] is shortest-round-trip
-   [%.17g] plus a trailing ['.'] on integral values, which JSON
-   numbers cannot carry — patch it to [".0"]. *)
+let create_memory () = make Memory
+
+(* Rendering helpers.  Strings are almost always plain identifiers,
+   so the escape scan avoids [Json.escape_string]'s allocation on that
+   path.  Floats must survive the file roundtrip bit-exactly — the
+   ledger's in-memory curve and [basched report]'s file parse of the
+   same stream are compared in tests — so rendering tries the compact
+   [%.12g] first and falls back to [%.17g] when that loses ulps. *)
 let add_json_string buf s =
   let needs_escape = ref false in
   String.iter
@@ -79,9 +89,11 @@ let add_json_string buf s =
 
 let add_float buf f =
   if Float.is_finite f then begin
-    let s = Float.to_string f in
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
     Buffer.add_string buf s;
-    if s.[String.length s - 1] = '.' then Buffer.add_char buf '0'
+    if String.for_all (function '-' | '0' .. '9' -> true | _ -> false) s then
+      Buffer.add_string buf ".0"
   end
   else Buffer.add_string buf "null"
 
@@ -110,16 +122,51 @@ let render buf r =
   Buffer.add_char buf '}';
   Buffer.add_char buf '\n'
 
-let close = function
+(* Multiple domains may emit (multistart trials run on pool workers):
+   the clock read happens outside the lock; the seq stamp, the cons and
+   — in live mode — the whole-line write happen inside, so the file
+   order matches the seq order and lines never interleave. *)
+let emit t kind fields =
+  match t with
   | Noop -> ()
   | Active st ->
-      let records = List.rev st.records in
-      st.records <- [];
-      let buf = Buffer.create 256 in
-      List.iter
-        (fun r ->
-          Buffer.clear buf;
+      let now = Monotonic_clock.now () in
+      let t_ns = Int64.sub now st.epoch_ns in
+      Mutex.lock st.mutex;
+      let seq = st.seq in
+      st.seq <- seq + 1;
+      let r = { seq; t_ns; kind; fields } in
+      st.records <- r :: st.records;
+      (match st.mode with
+      | Live oc ->
+          let buf = Buffer.create 128 in
           render buf r;
-          Buffer.output_buffer st.oc buf)
-        records;
-      close_out st.oc
+          Buffer.output_buffer oc buf;
+          flush oc
+      | Buffered _ | Memory -> ());
+      Mutex.unlock st.mutex
+
+let snapshot = function
+  | Noop -> []
+  | Active st ->
+      Mutex.lock st.mutex;
+      let rs = st.records in
+      Mutex.unlock st.mutex;
+      List.rev rs
+
+let close = function
+  | Noop -> ()
+  | Active st -> (
+      match st.mode with
+      | Memory -> ()
+      | Live oc -> close_out oc
+      | Buffered oc ->
+          let records = List.rev st.records in
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun r ->
+              Buffer.clear buf;
+              render buf r;
+              Buffer.output_buffer oc buf)
+            records;
+          close_out oc)

@@ -5,14 +5,24 @@
     nanoseconds since the stream was created) — plus whatever the
     emission site attaches.  The schema per kind is documented in
     EXPERIMENTS.md; [basched report] renders a stream into a summary
-    table.
+    table and [basched watch] tails one live.
 
-    Emission is buffered (flushed once, at {!close}) and safe from
-    multiple domains — lines never interleave.  The {!noop} stream
-    makes every call free; hot call sites should still guard with
+    The default stream is {e live}: every record is written (one whole
+    line, under the stream mutex, flushed) at emission, so an external
+    tailer sees convergence while the run is in flight — at worst it
+    observes one torn trailing line mid-write, never interleaved ones.
+    Emission is safe from multiple domains.  The {!noop} stream makes
+    every call free; hot call sites should still guard with
     {!is_active} to avoid building the field list. *)
 
 type field = I of int | F of float | S of string | B of bool
+
+type record = {
+  seq : int;          (** emission order, 0-based *)
+  t_ns : int64;       (** monotonic ns since stream creation *)
+  kind : string;
+  fields : (string * field) list;
+}
 
 type t
 
@@ -21,14 +31,29 @@ val noop : t
 
 val is_active : t -> bool
 
-val create : string -> t
-(** [create path] opens (truncates) [path] for writing.
+val now_ns : unit -> int64
+(** The stream's monotonic clock, for callers that want to attach
+    duration fields consistent with [t_ns]. *)
+
+val create : ?live:bool -> string -> t
+(** [create path] opens (truncates) [path] for writing.  With
+    [~live:true] (the default) records reach the file as they are
+    emitted; with [~live:false] everything renders once at {!close}.
     @raise Sys_error if the file cannot be opened. *)
+
+val create_memory : unit -> t
+(** An active stream with no file: records accumulate for {!snapshot}
+    only.  Used by the run ledger to capture a convergence curve when
+    no [--events] file was requested. *)
 
 val emit : t -> string -> (string * field) list -> unit
 (** [emit t kind fields] appends one record.  Non-finite floats are
     written as [null] so the stream stays parseable JSON. *)
 
+val snapshot : t -> record list
+(** All records emitted so far, oldest first.  [[]] on {!noop}. *)
+
 val close : t -> unit
-(** Flush and close the underlying channel.  Required for the records
-    to reach disk; double-close raises like [close_out] does. *)
+(** Flush and close the underlying channel (no-op for
+    {!create_memory} streams).  Required for buffered records to reach
+    disk; double-close raises like [close_out] does. *)

@@ -37,6 +37,13 @@ val env_stats : unit -> bool
 (** Whether [BATSCHED_STATS] is set to [1] or [true] — binaries treat
     it as an implicit [--stats]. *)
 
+val env_opt : string -> string option
+(** The environment variable's value, with set-but-empty normalized to
+    [None] — so [BATSCHED_EVENTS= cmd] cancels an exported value
+    rather than naming a file [""].  Binaries use this for the
+    [BATSCHED_EVENTS] / [BATSCHED_METRICS] / [BATSCHED_LEDGER]
+    equivalents of [--events] / [--metrics] / [--ledger]. *)
+
 val err : (unit -> string) -> unit
 val warn : (unit -> string) -> unit
 val info : (unit -> string) -> unit

@@ -17,7 +17,20 @@ let sanitize name =
       | _ -> '_')
     name
 
-let escape_label v = Json.escape_string v
+(* The text exposition defines exactly three label-value escapes:
+   backslash, double-quote and line-feed.  [Json.escape_string] would
+   also emit \t and \uXXXX, which Prometheus parsers reject, so label
+   escaping is its own little function. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
 
 let add_counters buf (c : Batsched_numeric.Probe.t) =
   Buffer.add_string buf

@@ -119,3 +119,75 @@ window and a choose span per window evaluation, and per-track metadata:
   10
   $ grep -c '"ph":"M"' out.json
   2
+
+Telemetry sinks: --events streams JSONL while the run is in flight,
+--metrics writes an OpenMetrics exposition, --ledger records a run
+manifest (the id embeds a timestamp, so it is masked here):
+
+  $ basched pipe.btg --deadline 15 --algo annealing --seed 7 \
+  >     --events ev.jsonl --metrics m.prom --ledger led \
+  >   | tail -3 | sed 's/run-[0-9][0-9-]*/run-ID/'
+  wrote convergence events to ev.jsonl (render with basched report)
+  wrote OpenMetrics exposition to m.prom
+  ledger: recorded run-ID in led
+
+The event-kind census is deterministic for a fixed seed (the
+per-level timing table below it is not):
+
+  $ basched report ev.jsonl | sed -n '1,6p'
+  78 event records from ev.jsonl
+    anneal_start          1
+    anneal_level         73
+    anneal_done           1
+    hist                  2
+    run_done              1
+
+  $ tail -1 m.prom
+  # EOF
+
+BATSCHED_LEDGER is the env-var equivalent of --ledger; runs list
+reads the same registry:
+
+  $ BATSCHED_LEDGER=led basched runs list | awk 'NR>1 {print $2, $3}'
+  basched annealing
+
+  $ BATSCHED_LEDGER=led basched runs show run- | sed -n '2,4p'
+  tool:          basched annealing
+  instance:      pipe.btg (40f4fc19f9e559b8da32ba6e2867b16c)
+  model:         rakhmatov
+
+Replaying the stream through the dashboard reaches the same summary a
+live watcher would print (stream time is wall-clock, so masked):
+
+  $ basched watch ev.jsonl --replay | sed 's/[0-9.]*s stream time/_ stream time/'
+  run delta: 78 records, _ stream time, finished
+    best sigma 15980.1  finish 15  evals 4380
+    accepted 1758 / rejected 2622 (rate 0.401) over 73 levels
+    hist delta/commit_batch: count 9 p50 32 p99 32 max 32
+    hist fcache/probe_len: count 47 p50 1.03125 p99 2 max 2
+
+watch --last resolves the newest ledger run that carries an events
+file, even when later runs were recorded without one:
+
+  $ basched pipe.btg --deadline 15 --algo annealing --seed 8 --ledger led > /dev/null
+  $ basched pipe.btg --deadline 15 --algo random --seed 7 --ledger led > /dev/null
+  $ basched pipe.btg --deadline 15 --algo random --seed 8 --ledger led > /dev/null
+  $ BATSCHED_LEDGER=led basched watch --last --replay | sed -n 2p
+    best sigma 15980.1  finish 15  evals 4380
+
+Cohort comparison by label; the evals axis and the fixed-seed
+bootstrap make the verdict deterministic:
+
+  $ basched profile annealing random --ledger led | grep -E 'profile:|anytime|verdict'
+  profile: annealing (2 runs) vs random (2 runs), axis=evals
+    anytime score (mean median sigma over grid): annealing=15980.1 random=15980.1
+    verdict: random dominates (random better in 100.0% of 400 bootstrap resamples)
+
+runs diff contrasts two manifests; work counters separate the
+searchers even when both reach the same sigma:
+
+  $ A=$(basched runs list --ledger led | awk 'NR==2 {print $1}')
+  $ B=$(basched runs list --ledger led | awk 'NR==4 {print $1}')
+  $ basched runs diff $A $B --ledger led | grep -E 'label|anneal_accepted'
+    label          annealing -> random
+    counter anneal_accepted             1758 ->            0

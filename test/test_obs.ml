@@ -598,12 +598,13 @@ let test_openmetrics_lint () =
 
 module BC = Batsched_obs.Bench_compare
 
-let bc_row ?(r2 = 0.99) ?(low = false) ?first name ns =
+let bc_row ?(r2 = 0.99) ?(low = false) ?first ?(counters = []) name ns =
   { BC.name;
     ns_per_run = ns;
     r_square = r2;
     low_confidence = low;
-    ns_per_run_first = first }
+    ns_per_run_first = first;
+    counters }
 
 let check_verdict msg want (c : BC.comparison) =
   Alcotest.(check string) msg (BC.verdict_string want)
@@ -710,6 +711,481 @@ let test_compare_committed_snapshots () =
       (BC.has_confident_regression r)
   end
 
+(* --- torn-tail tolerant tailer --- *)
+
+module Tail = Batsched_obs.Tail
+module Ledger = Batsched_obs.Ledger
+module Profile = Batsched_obs.Profile
+module Dash = Batsched_obs.Dash
+
+(* one multistart event stream rendered to bytes: the shared input for
+   the tailer and dashboard tests *)
+let events_bytes =
+  lazy
+    (let path = Filename.temp_file "batsched_tailsrc" ".jsonl" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove path)
+       (fun () ->
+         let events = Events.create path in
+         Fun.protect
+           ~finally:(fun () -> Events.close events)
+           (fun () ->
+             ignore (run_multistart ~events Instances.g2 ~deadline:75.0));
+         In_channel.with_open_bin path In_channel.input_all))
+
+(* cut [s] into chunks of the given sizes (cycling) and feed them all *)
+let chunked_feed tail sizes s =
+  let sizes = match sizes with [] -> [ 1 ] | _ -> sizes in
+  let n = String.length s in
+  let records = ref [] in
+  let rec go pos = function
+    | [] -> go pos sizes
+    | size :: rest ->
+        if pos < n then begin
+          let len = min size (n - pos) in
+          records :=
+            List.rev_append (Tail.feed tail (String.sub s pos len)) !records;
+          go (pos + len) rest
+        end
+  in
+  if n > 0 then go 0 sizes;
+  records := List.rev_append (Tail.finish tail) !records;
+  List.rev !records
+
+let prop_tail_chunking_invariant =
+  QCheck.Test.make ~count:50
+    ~name:"tailer: chunked feed equals one-gulp feed"
+    QCheck.(small_list (int_range 1 97))
+    (fun sizes ->
+      let s = Lazy.force events_bytes in
+      let whole = Tail.create () in
+      let fed = Tail.feed whole s in
+      let w = fed @ Tail.finish whole in
+      let chunked = Tail.create () in
+      let c = chunked_feed chunked sizes s in
+      w = c && Tail.bad whole = Tail.bad chunked)
+
+(* every truncation point: the tailer recovers all complete lines,
+   counts the torn tail (unless the cut landed exactly after a record's
+   closing brace, which parses), and never raises *)
+let test_tail_truncation_sweep () =
+  let s = Lazy.force events_bytes in
+  let n = String.length s in
+  Alcotest.(check bool) "source nonempty" true (n > 0);
+  (let t = Tail.create () in
+   ignore (Tail.feed t s);
+   ignore (Tail.finish t);
+   Alcotest.(check int) "source parses clean" 0 (Tail.bad t));
+  let cuts =
+    List.filter (fun i -> i mod 101 = 0 || n - i <= 220) (List.init n Fun.id)
+  in
+  List.iter
+    (fun cut ->
+      let prefix = String.sub s 0 cut in
+      let complete = ref 0 and last_nl = ref (-1) in
+      String.iteri
+        (fun i ch ->
+          if ch = '\n' then begin
+            incr complete;
+            last_nl := i
+          end)
+        prefix;
+      let partial =
+        String.sub prefix (!last_nl + 1) (cut - !last_nl - 1)
+      in
+      let partial_parses =
+        partial <> ""
+        && match parse_json partial with _ -> true | exception _ -> false
+      in
+      let t = Tail.create () in
+      let fed = Tail.feed t prefix in
+      let records = fed @ Tail.finish t in
+      Alcotest.(check int)
+        (Printf.sprintf "cut at %d: records" cut)
+        (!complete + if partial_parses then 1 else 0)
+        (List.length records);
+      Alcotest.(check int)
+        (Printf.sprintf "cut at %d: torn count" cut)
+        (if partial <> "" && not partial_parses then 1 else 0)
+        (Tail.bad t))
+    cuts
+
+(* --- run ledger --- *)
+
+let with_temp_ledger f =
+  let dir = Filename.temp_file "batsched_ledger" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Sys.readdir dir with
+      | names ->
+          Array.iter
+            (fun name ->
+              try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+            names
+      | exception Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let ledger_spec ?(label = "annealing") () =
+  { Ledger.tool = "test";
+    label;
+    instance = "g2";
+    instance_hash = "abc";
+    model = "rakhmatov";
+    seed = 7;
+    pool_size = 2;
+    knobs = [ ("deadline", "75"); ("quote", "a\"b") ];
+    wall_s = 0.25;
+    sigma = Some 123.5;
+    finish = Some 70.0;
+    events_path = None;
+    curve = [ (0.1, 10.0, 200.0); (0.2, 25.0, 123.5) ] }
+
+let test_ledger_roundtrip () =
+  with_temp_ledger @@ fun dir ->
+  match Ledger.record ~dir (ledger_spec ()) with
+  | Error e -> Alcotest.fail e
+  | Ok id -> (
+      let entries, skipped = Ledger.load dir in
+      Alcotest.(check int) "no skips" 0 skipped;
+      match entries with
+      | [ e ] ->
+          Alcotest.(check string) "id" id e.Ledger.id;
+          Alcotest.(check int) "schema" Ledger.schema_version e.Ledger.schema;
+          Alcotest.(check string) "label" "annealing" e.Ledger.e_label;
+          Alcotest.(check string) "model" "rakhmatov" e.Ledger.e_model;
+          Alcotest.(check int) "seed" 7 e.Ledger.e_seed;
+          Alcotest.(check int) "pool size" 2 e.Ledger.e_pool_size;
+          Alcotest.(check (option (float 1e-9))) "sigma" (Some 123.5)
+            e.Ledger.e_sigma;
+          Alcotest.(check (option (float 1e-9))) "finish" (Some 70.0)
+            e.Ledger.e_finish;
+          Alcotest.(check string) "escaped knob survives" "a\"b"
+            (Option.value ~default:""
+               (List.assoc_opt "quote" e.Ledger.e_knobs));
+          Alcotest.(check int) "curve points" 2 (List.length e.Ledger.e_curve);
+          Alcotest.(check bool) "counter snapshot present" true
+            (e.Ledger.counters <> [])
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected 1 entry, got %d" (List.length l)))
+
+let test_ledger_find_and_gc () =
+  with_temp_ledger @@ fun dir ->
+  let ids =
+    List.map
+      (fun label ->
+        match Ledger.record ~dir (ledger_spec ~label ()) with
+        | Ok id -> id
+        | Error e -> Alcotest.fail e)
+      [ "a"; "b"; "c"; "d"; "e" ]
+  in
+  (match Ledger.find dir (List.nth ids 2) with
+  | Ok e -> Alcotest.(check string) "exact id" "c" e.Ledger.e_label
+  | Error e -> Alcotest.fail e);
+  (match Ledger.find dir "run-" with
+  | Ok _ -> Alcotest.fail "ambiguous prefix resolved"
+  | Error msg ->
+      Alcotest.(check bool) "ambiguity reported" true
+        (contains_substring msg "ambiguous"));
+  (match Ledger.find dir "no-such-run" with
+  | Ok _ -> Alcotest.fail "missing id resolved"
+  | Error msg ->
+      Alcotest.(check bool) "no-match reported" true
+        (contains_substring msg "no run"));
+  Alcotest.(check int) "gc removes the oldest" 3 (Ledger.gc ~keep:2 dir);
+  let entries, _ = Ledger.load dir in
+  Alcotest.(check (list string)) "newest two survive, in order"
+    [ "d"; "e" ]
+    (List.map (fun e -> e.Ledger.e_label) entries)
+
+(* --- anytime profiles --- *)
+
+let profile_entry ?(id = "run-a") ?(pool = 1) ?(wall = 1.0) curve =
+  { Ledger.id;
+    schema = Ledger.schema_version;
+    created = 0.0;
+    e_tool = "test";
+    e_label = "x";
+    e_instance = "";
+    e_instance_hash = "";
+    e_model = "";
+    e_seed = 0;
+    e_pool_size = pool;
+    git_rev = "none";
+    e_wall_s = wall;
+    e_sigma = None;
+    e_finish = None;
+    e_events_path = None;
+    e_knobs = [];
+    counters = [];
+    e_curve = curve }
+
+let test_profile_staircase () =
+  let e =
+    profile_entry [ (0.1, 10.0, 200.0); (0.4, 40.0, 150.0); (0.9, 90.0, 120.0) ]
+  in
+  match Profile.run_of_entry ~axis:`Evals e with
+  | None -> Alcotest.fail "entry with a curve yielded no run"
+  | Some run ->
+      Alcotest.(check (option (float 1e-9))) "before first point" None
+        (Profile.best_at run 5.0);
+      Alcotest.(check (option (float 1e-9))) "at first point" (Some 200.0)
+        (Profile.best_at run 10.0);
+      Alcotest.(check (option (float 1e-9))) "mid staircase" (Some 150.0)
+        (Profile.best_at run 50.0);
+      Alcotest.(check (option (float 1e-9))) "past the end" (Some 120.0)
+        (Profile.best_at run 1000.0);
+      Alcotest.(check (option (float 1e-9))) "hit 150" (Some 40.0)
+        (Profile.hit_x run ~target:150.0);
+      Alcotest.(check (option (float 1e-9))) "never hits 100" None
+        (Profile.hit_x run ~target:100.0);
+      Alcotest.(check (option (float 1e-9))) "single-run ERT" (Some 40.0)
+        (Profile.ert [ run ] ~target:150.0);
+      (* a run that never reaches the target charges its full budget *)
+      let miss =
+        Option.get
+          (Profile.run_of_entry ~axis:`Evals
+             (profile_entry [ (0.2, 20.0, 180.0) ]))
+      in
+      Alcotest.(check (option (float 1e-9)))
+        "ERT charges failed runs' budgets" (Some 60.0)
+        (Profile.ert [ run; miss ] ~target:150.0)
+
+(* the evals axis is pool-size-invariant: the same search on a wider
+   pool finishes earlier in wall time but visits the same points *)
+let test_profile_evals_axis_pool_invariant () =
+  let curve_seq = [ (0.4, 10.0, 200.0); (1.6, 40.0, 150.0) ] in
+  let curve_par = List.map (fun (t, e, q) -> (t /. 4.0, e, q)) curve_seq in
+  let a = profile_entry ~id:"run-seq" ~pool:1 ~wall:2.0 curve_seq in
+  let b = profile_entry ~id:"run-par" ~pool:4 ~wall:0.5 curve_par in
+  let ra = Option.get (Profile.run_of_entry ~axis:`Evals a) in
+  let rb = Option.get (Profile.run_of_entry ~axis:`Evals b) in
+  Alcotest.(check bool) "evals-axis runs identical" true
+    (ra.Profile.pts = rb.Profile.pts
+    && Float.equal ra.Profile.horizon rb.Profile.horizon);
+  let ta = Option.get (Profile.run_of_entry ~axis:`Time a) in
+  let tb = Option.get (Profile.run_of_entry ~axis:`Time b) in
+  Alcotest.(check bool) "time-axis runs differ" false
+    (ta.Profile.pts = tb.Profile.pts);
+  (* and the rendered evals-axis report cannot tell the cohorts apart *)
+  Alcotest.(check bool) "report deterministic" true
+    (Profile.compare_to_string ~axis:`Evals ~name_a:"s" ~name_b:"p" [ a ]
+       [ b ]
+    = Profile.compare_to_string ~axis:`Evals ~name_a:"s" ~name_b:"p" [ a ]
+        [ b ])
+
+let test_profile_dominance () =
+  let good i =
+    profile_entry
+      ~id:(Printf.sprintf "run-good%d" i)
+      [ (0.1, 10.0, 150.0 +. float_of_int i); (0.5, 50.0, 100.0) ]
+  in
+  let bad i =
+    profile_entry
+      ~id:(Printf.sprintf "run-bad%d" i)
+      [ (0.1, 10.0, 250.0 +. float_of_int i); (0.5, 50.0, 200.0) ]
+  in
+  let runs l =
+    List.filter_map (Profile.run_of_entry ~axis:`Evals) l
+  in
+  let a = runs [ good 0; good 1; good 2 ] in
+  let b = runs [ bad 0; bad 1; bad 2 ] in
+  let v = Profile.dominance a b in
+  Alcotest.(check bool) "uniformly better cohort wins every resample" true
+    (v.Profile.a_wins = 1.0);
+  Alcotest.(check bool) "scores ordered" true
+    (v.Profile.score_a < v.Profile.score_b);
+  let v' = Profile.dominance a b in
+  Alcotest.(check bool) "fixed-seed bootstrap is deterministic" true
+    (v.Profile.a_wins = v'.Profile.a_wins
+    && Float.equal v.Profile.score_a v'.Profile.score_a)
+
+(* curve extraction agrees between the in-memory stream (what the
+   ledger stores) and the JSONL file (what basched report reads) *)
+let test_profile_curve_extraction () =
+  let snap, records =
+    with_full_telemetry (fun events ->
+        let rng = Batsched_numeric.Rng.create 11 in
+        let model = Batsched_battery.Rakhmatov.model () in
+        ignore
+          (Batsched_baselines.Annealing.run ~events ~rng ~model Instances.g2
+             ~deadline:75.0);
+        Events.snapshot events)
+  in
+  let from_mem = Profile.curve_of_events snap in
+  let from_file = Profile.curve_of_json records in
+  Alcotest.(check bool) "curve nonempty" true (from_mem <> []);
+  Alcotest.(check bool) "downsampled" true (List.length from_mem <= 96);
+  Alcotest.(check int) "same length" (List.length from_mem)
+    (List.length from_file);
+  List.iter2
+    (fun (t, e, q) (t', e', q') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "same point: (%.17g,%.17g,%.17g) vs (%.17g,%.17g,%.17g)"
+           t e q t' e' q')
+        true
+        (Float.abs (t -. t') <= 1e-9 && Float.equal e e' && Float.equal q q'))
+    from_mem from_file;
+  let rec monotone = function
+    | (_, e1, q1) :: ((_, e2, q2) :: _ as rest) ->
+        e1 <= e2 && q1 > q2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "evals ascend, sigma strictly improves" true
+    (monotone from_mem)
+
+(* --- dashboard: live tail equals replay --- *)
+
+let dash_of_records records skipped =
+  Dash.note_skipped (Dash.feed_all Dash.empty records) skipped
+
+let prop_dash_live_equals_replay =
+  QCheck.Test.make ~count:50
+    ~name:"dash: chunked live tail and one-gulp replay summaries agree"
+    QCheck.(small_list (int_range 1 97))
+    (fun sizes ->
+      let s = Lazy.force events_bytes in
+      let whole = Tail.create () in
+      let fed = Tail.feed whole s in
+      let whole_records = fed @ Tail.finish whole in
+      let replay = dash_of_records whole_records (Tail.bad whole) in
+      let t = Tail.create () in
+      let live_records = chunked_feed t sizes s in
+      let live = dash_of_records live_records (Tail.bad t) in
+      Dash.summary live = Dash.summary replay)
+
+let test_dash_summary_content () =
+  let s = Lazy.force events_bytes in
+  let t = Tail.create () in
+  let fed = Tail.feed t s in
+  let records = fed @ Tail.finish t in
+  let st = dash_of_records records (Tail.bad t) in
+  let summary = Dash.summary st in
+  Alcotest.(check bool) "names the searcher" true
+    (contains_substring summary "multistart");
+  Alcotest.(check bool) "counts the trials" true
+    (contains_substring summary "trials 6 of 6");
+  Alcotest.(check bool) "reports best sigma" true
+    (contains_substring summary "best sigma");
+  (* a torn tail surfaces in the summary *)
+  let torn = String.sub s 0 (String.length s - 3) in
+  let t2 = Tail.create () in
+  let fed2 = Tail.feed t2 torn in
+  let records2 = fed2 @ Tail.finish t2 in
+  let st2 = dash_of_records records2 (Tail.bad t2) in
+  Alcotest.(check bool) "torn tail reported" true
+    (contains_substring (Dash.summary st2) "skipped 1 unparseable")
+
+(* the ledger's in-memory event capture must be as invisible as the
+   file stream: bit-identical schedules at pool 1 and 4 *)
+let test_memory_events_identical () =
+  List.iter
+    (fun (g, deadline) ->
+      let plain = run_multistart g ~deadline in
+      List.iter
+        (fun (plabel, pool) ->
+          let events = Events.create_memory () in
+          let traced = run_multistart ~pool ~events g ~deadline in
+          same_result (Graph.label g ^ " memory events " ^ plabel) plain
+            traced)
+        [ ("pool1", Batsched_numeric.Pool.sequential);
+          ("pool4", parallel_pool) ])
+    published_cases
+
+(* --- bench --compare work-profile diff --- *)
+
+let test_compare_work_profile () =
+  let old_rows =
+    [ bc_row
+        ~counters:
+          [ ("sigma_evals", 100.0); ("choose_calls", 7.0);
+            ("minor_words", 5000.0) ]
+        "a" 1000.0 ]
+  in
+  let new_rows =
+    [ bc_row
+        ~counters:
+          [ ("sigma_evals", 200.0); ("choose_calls", 7.0);
+            ("minor_words", 5002.0) ]
+        "a" 1000.0 ]
+  in
+  let r = BC.compare_rows old_rows new_rows in
+  Alcotest.(check (list string))
+    "doubled counter reported; unchanged and word-wobble skipped"
+    [ "sigma_evals" ]
+    (List.map (fun d -> d.BC.cd_counter) r.BC.work);
+  Alcotest.(check bool) "informational only: gate unaffected" false
+    (BC.has_confident_regression r);
+  Alcotest.(check bool) "rendered as its own section" true
+    (contains_substring (BC.to_string r) "work-profile changes");
+  let bare = BC.compare_rows [ bc_row "a" 1000.0 ] [ bc_row "a" 1000.0 ] in
+  Alcotest.(check int) "no counters, no section" 0 (List.length bare.BC.work);
+  match
+    BC.row_of_json
+      (parse_json
+         "{\"name\": \"batsched/x\", \"ns_per_run\": 5.0, \
+          \"counters\": {\"sigma_evals\": 42}}")
+  with
+  | Some row ->
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "counters parsed from the row object"
+        [ ("sigma_evals", 42.0) ]
+        row.BC.counters
+  | None -> Alcotest.fail "row with counters failed to parse"
+
+(* --- OpenMetrics escaping --- *)
+
+let test_openmetrics_escaping () =
+  Alcotest.(check string)
+    "exactly backslash, quote and newline escape; tab passes through"
+    "a\\\\b\\\"c\\nd\te"
+    (Batsched_obs.Openmetrics.escape_label "a\\b\"c\nd\te");
+  Alcotest.(check string) "plain values untouched" "anneal/level"
+    (Batsched_obs.Openmetrics.escape_label "anneal/level");
+  Alcotest.(check string) "metric names sanitized" "span_choose_1"
+    (Batsched_obs.Openmetrics.sanitize "span/choose.1")
+
+let test_openmetrics_sci_notation_buckets () =
+  Probe.reset ();
+  Histogram.reset ();
+  Histogram.enable ();
+  let text =
+    Fun.protect ~finally:Histogram.disable (fun () ->
+        List.iter (Histogram.observe "test/sci") [ 1e-7; 0.5; 3.0e12; 1e30 ];
+        Batsched_obs.Openmetrics.to_string ())
+  in
+  let lines = String.split_on_char '\n' text in
+  let le_of line =
+    let marker = "le=\"" in
+    let ml = String.length marker in
+    let rec scan i =
+      if i + ml > String.length line then None
+      else if String.sub line i ml = marker then
+        let j = String.index_from line (i + ml) '"' in
+        Some (String.sub line (i + ml) (j - i - ml))
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let les = List.filter_map le_of lines in
+  Alcotest.(check bool) "extreme bounds render in scientific notation" true
+    (List.exists
+       (fun v -> String.contains v 'e' || String.contains v 'E')
+       les);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) ("le bound parses: " ^ v) true
+        (v = "+Inf" || float_of_string_opt v <> None))
+    les;
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        Alcotest.(check bool) ("well-formed sample: " ^ line) true
+          (metric_line_ok line))
+    lines
+
 (* --- report robustness --- *)
 
 let test_report_superseded_sink () =
@@ -740,7 +1216,9 @@ let test_report_renders_histograms () =
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_instrumented_matches_uninstrumented;
-      prop_histogram_merge_deterministic ]
+      prop_histogram_merge_deterministic;
+      prop_tail_chunking_invariant;
+      prop_dash_live_equals_replay ]
 
 let () =
   Alcotest.run "obs"
@@ -787,10 +1265,35 @@ let () =
           Alcotest.test_case "noop inactive" `Quick test_events_noop_inactive
         ] );
       ( "openmetrics",
-        [ Alcotest.test_case "exposition lint" `Quick test_openmetrics_lint ]
-      );
+        [ Alcotest.test_case "exposition lint" `Quick test_openmetrics_lint;
+          Alcotest.test_case "label escaping" `Quick
+            test_openmetrics_escaping;
+          Alcotest.test_case "scientific-notation bucket bounds" `Quick
+            test_openmetrics_sci_notation_buckets ] );
+      ( "tail",
+        [ Alcotest.test_case "truncation sweep" `Quick
+            test_tail_truncation_sweep ] );
+      ( "ledger",
+        [ Alcotest.test_case "roundtrip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "find and gc" `Quick test_ledger_find_and_gc ] );
+      ( "profile",
+        [ Alcotest.test_case "staircase lookups and ERT" `Quick
+            test_profile_staircase;
+          Alcotest.test_case "evals axis pool-size invariant" `Quick
+            test_profile_evals_axis_pool_invariant;
+          Alcotest.test_case "bootstrap dominance" `Quick
+            test_profile_dominance;
+          Alcotest.test_case "curve extraction memory = file" `Quick
+            test_profile_curve_extraction ] );
+      ( "dash",
+        [ Alcotest.test_case "summary content" `Quick
+            test_dash_summary_content;
+          Alcotest.test_case "memory events bit-identical" `Quick
+            test_memory_events_identical ] );
       ( "bench-compare",
-        [ Alcotest.test_case "classification" `Quick test_compare_classify;
+        [ Alcotest.test_case "work-profile diff informational" `Quick
+            test_compare_work_profile;
+          Alcotest.test_case "classification" `Quick test_compare_classify;
           Alcotest.test_case "join, twins, gate" `Quick
             test_compare_rows_join;
           Alcotest.test_case "regression gate" `Quick
