@@ -4,6 +4,7 @@
           annealing|random] [--beta B] [--seed N] [--pool N] [--iterations]
           [--stats] [--trace OUT.json] [--events OUT.jsonl]
           [--metrics OUT.prom] [--ledger DIR] [--dot OUT]
+          basched serve [FIXTURE] [--pool N] [--queue N] [--soak N]
           basched report EVENTS.jsonl
           basched runs [list|show ID|diff A B] [--ledger DIR]
           basched profile A B [--ledger DIR] [--axis time|evals]
@@ -680,6 +681,120 @@ let watch_main dir file last replay interval_ms =
   | Ok path ->
       if replay then watch_replay path else watch_live path interval_ms
 
+(* --- basched serve: batch scheduling daemon --- *)
+
+module Serve = Batsched_serve
+
+(* Per-slot executor counters: slot 0 is the caller-side domains, 1..
+   the persistent workers.  Busy fraction is against daemon wall time,
+   so on an idle daemon every slot reads near zero. *)
+let print_occupancy oc pool ~wall_s =
+  let st = Batsched_numeric.Pool.worker_stats pool in
+  if Array.length st > 0 then begin
+    Printf.fprintf oc "\nworker occupancy (wall %.2f s):\n" wall_s;
+    Printf.fprintf oc "  slot   items  chunks  steals   jobs   busy_s  busy%%\n";
+    Array.iteri
+      (fun i (s : Batsched_numeric.Pool.worker_stat) ->
+        let pct = if wall_s > 0.0 then 100.0 *. s.busy_s /. wall_s else 0.0 in
+        Printf.fprintf oc "  %4d  %6d  %6d  %6d  %5d  %8.3f  %5.1f\n" i
+          s.items s.chunks s.steals s.jobs s.busy_s pct)
+      st
+  end
+
+let print_serve_quantiles oc d =
+  let q, l = Serve.Daemon.histograms d in
+  let line name h =
+    if Obs.Histogram.count h > 0 then
+      Printf.fprintf oc "  %-12s p50 %8.2f ms   p99 %8.2f ms   (n=%d)\n" name
+        (Obs.Histogram.quantile h 50.0)
+        (Obs.Histogram.quantile h 99.0)
+        (Obs.Histogram.count h)
+  in
+  Printf.fprintf oc "\nrequest latency:\n";
+  line "queue delay" q;
+  line "end-to-end" l
+
+let print_soak_summary pool (r : Serve.Soak.result) =
+  let c = r.counts in
+  Printf.printf "soak: %d requests in %.2f s  (%.0f req/s, pool %d)\n" r.n
+    r.wall_s r.req_per_s
+    (Batsched_numeric.Pool.size pool);
+  Printf.printf "  completed %d  cancelled %d  errors %d  rejected %d\n"
+    c.Serve.Daemon.completed c.Serve.Daemon.cancelled c.Serve.Daemon.errors
+    c.Serve.Daemon.rejected;
+  Printf.printf "  queue delay  p50 %.2f ms   p99 %.2f ms\n" r.queue_p50_ms
+    r.queue_p99_ms;
+  Printf.printf "  latency      p50 %.2f ms   p99 %.2f ms\n" r.latency_p50_ms
+    r.latency_p99_ms
+
+let serve_main fixture pool_n capacity terminal_only stats metrics_out gen
+    soak json_out seed =
+  if gen > 0 then begin
+    (* fixture generator: print and exit, no pool, no daemon *)
+    List.iter print_endline (Serve.Soak.fixture_lines ~n:gen ~seed);
+    Ok ()
+  end
+  else if capacity < 1 then Error "--queue needs a positive capacity"
+  else begin
+    if stats || metrics_out <> None then Obs.Histogram.enable ();
+    let pool = Batsched_numeric.Pool.create (Stdlib.max 1 pool_n) in
+    Fun.protect ~finally:(fun () -> Batsched_numeric.Pool.shutdown pool)
+    @@ fun () ->
+    let wall0 = Unix.gettimeofday () in
+    (* stdout carries the response stream, so tables and notices go to
+       stderr — `basched serve f > out.jsonl` stays pure JSONL *)
+    let finish_stats () =
+      if stats then
+        print_occupancy stderr pool ~wall_s:(Unix.gettimeofday () -. wall0);
+      match metrics_out with
+      | Some out ->
+          Obs.Openmetrics.write_file out;
+          Printf.eprintf "wrote OpenMetrics exposition to %s\n" out
+      | None -> ()
+    in
+    match soak with
+    | Some n ->
+        if n < 1 then Error "--soak needs a positive request count"
+        else begin
+          let r = Serve.Soak.run ~seed ~pool ~n () in
+          print_soak_summary pool r;
+          (match json_out with
+          | Some out ->
+              let oc = open_out out in
+              output_string oc (Serve.Soak.result_to_json r);
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "wrote soak summary to %s\n" out
+          | None -> ());
+          finish_stats ();
+          Ok ()
+        end
+    | None -> (
+        match
+          (match fixture with
+          | None -> Ok stdin
+          | Some path -> (
+              try Ok (open_in path) with Sys_error msg -> Error msg))
+        with
+        | Error msg -> Error msg
+        | Ok ic ->
+            let events = Obs.Events.create_channel stdout in
+            let d =
+              Serve.Daemon.create ~capacity ~stream_search:(not terminal_only)
+                ~pool ~events ()
+            in
+            let c = Serve.Daemon.run_channel d ic in
+            if fixture <> None then close_in ic;
+            Obs.Events.close events;
+            if stats then print_serve_quantiles stderr d;
+            finish_stats ();
+            (* parse errors and failed requests were answered on the
+               stream; the exit code reflects whether the daemon itself
+               ran to completion *)
+            ignore c.Serve.Daemon.errors;
+            Ok ())
+  end
+
 (* --- command wiring --- *)
 
 let run_term =
@@ -781,10 +896,75 @@ let watch_cmd =
              ret_of (watch_main dir file last replay interval))
         $ ledger_dir_arg $ file_arg $ last_arg $ replay_arg $ interval_arg))
 
+let serve_cmd =
+  let fixture_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FIXTURE"
+             ~doc:"Request file, one JSON object per line (see \
+                   EXPERIMENTS.md for the wire format); reads stdin when \
+                   omitted.")
+  in
+  let serve_pool_arg =
+    Arg.(value & opt int 4
+         & info [ "pool" ] ~docv:"N"
+             ~doc:"Worker domains the daemon batches requests onto.  With \
+                   fewer than two workers, requests run inline on the \
+                   reader thread and in-flight cancellation loses its \
+                   promptness.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission capacity: at most N requests queued or \
+                   running; overflow is answered with an overloaded \
+                   record instead of queueing without bound.")
+  in
+  let terminal_only_arg =
+    Arg.(value & flag
+         & info [ "terminal-only" ]
+             ~doc:"Answer with terminal records only (result, cancelled, \
+                   error); suppress each request's streamed search \
+                   convergence records.")
+  in
+  let soak_arg =
+    Arg.(value & opt (some int) None
+         & info [ "soak" ] ~docv:"N"
+             ~doc:"Instead of serving, run N generated mixed requests \
+                   through an in-process daemon and print throughput and \
+                   latency quantiles.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"With --soak: also write the summary as one JSON \
+                   object (the CI artifact).")
+  in
+  let gen_arg =
+    Arg.(value & opt int 0
+         & info [ "gen" ] ~docv:"N"
+             ~doc:"Print an N-request smoke fixture (mixed load plus an \
+                   in-flight cancellation) to stdout and exit.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Batch scheduling daemon: read newline-framed JSON requests, \
+             run each search on a shared work-stealing pool, stream \
+             responses as JSONL")
+    Term.(
+      ret
+        (const (fun fixture pool capacity terminal_only stats metrics gen
+                    soak json seed ->
+             ret_of
+               (serve_main fixture pool capacity terminal_only stats metrics
+                  gen soak json seed))
+        $ fixture_arg $ serve_pool_arg $ queue_arg $ terminal_only_arg
+        $ stats_arg $ metrics_arg $ gen_arg $ soak_arg $ json_arg $ seed_arg))
+
 let run_cmd =
   let doc =
     "battery-aware task sequencing and design-point assignment (also: \
-     basched report | runs | profile | watch for telemetry)"
+     basched serve for a batch daemon, basched report | runs | profile | \
+     watch for telemetry)"
   in
   Cmd.v (Cmd.info "basched" ~doc) (Term.ret run_term)
 
@@ -792,8 +972,8 @@ let run_cmd =
    which would break the historical `basched FILE --deadline D` CLI —
    so the subcommands are dispatched by hand. *)
 let subcommands =
-  [ ("report", report_cmd); ("runs", runs_cmd); ("profile", profile_cmd);
-    ("watch", watch_cmd) ]
+  [ ("serve", serve_cmd); ("report", report_cmd); ("runs", runs_cmd);
+    ("profile", profile_cmd); ("watch", watch_cmd) ]
 
 let () =
   match

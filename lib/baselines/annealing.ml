@@ -137,7 +137,7 @@ let emit_done events ~mode ~evals ~best_sigma =
       [ ("mode", Events.S mode); ("evals", Events.I evals);
         ("best_sigma", Events.F best_sigma) ]
 
-let run_reference ~params ~rng ~model ~events g ~deadline sol =
+let run_reference ~params ~rng ~model ~events ~should_stop g ~deadline sol =
   let n = Graph.num_tasks g and m = Graph.num_points g in
   let st =
     ref
@@ -153,7 +153,7 @@ let run_reference ~params ~rng ~model ~events g ~deadline sol =
   let acc0 = probe.Probe.anneal_accepted
   and rej0 = probe.Probe.anneal_rejected in
   let level = ref 0 in
-  while !temperature > params.temperature_floor do
+  while !temperature > params.temperature_floor && not (should_stop ()) do
     let lacc = if ev_on then probe.Probe.anneal_accepted else 0
     and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for _ = 1 to params.steps_per_temperature do
@@ -206,7 +206,7 @@ let run_reference ~params ~rng ~model ~events g ~deadline sol =
    run) are materialized as schedules, through the full-model
    [Solution.of_schedule], so the reported sigma always comes from the
    oracle path. *)
-let run_delta ~params ~rng ~model ~events g ~deadline sol =
+let run_delta ~params ~rng ~model ~events ~should_stop g ~deadline sol =
   let n = Graph.num_tasks g and m = Graph.num_points g in
   let ev = Eval.make ~model g sol.Solution.schedule in
   let energy sigma finish =
@@ -221,7 +221,7 @@ let run_delta ~params ~rng ~model ~events g ~deadline sol =
   let acc0 = probe.Probe.anneal_accepted
   and rej0 = probe.Probe.anneal_rejected in
   let level = ref 0 in
-  while !temperature > params.temperature_floor do
+  while !temperature > params.temperature_floor && not (should_stop ()) do
     let lacc = if ev_on then probe.Probe.anneal_accepted else 0
     and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for _ = 1 to params.steps_per_temperature do
@@ -279,12 +279,14 @@ let run_delta ~params ~rng ~model ~events g ~deadline sol =
   !best
 
 let run ?(params = default_params) ?(eval = `Delta)
-    ?(events = Events.noop) ~rng ~model g ~deadline =
+    ?(events = Events.noop) ?(should_stop = fun () -> false) ~rng ~model g
+    ~deadline =
   check_params params;
   let sol = start_solution ~model g ~deadline in
   match eval with
-  | `Delta -> run_delta ~params ~rng ~model ~events g ~deadline sol
-  | `Reference -> run_reference ~params ~rng ~model ~events g ~deadline sol
+  | `Delta -> run_delta ~params ~rng ~model ~events ~should_stop g ~deadline sol
+  | `Reference ->
+      run_reference ~params ~rng ~model ~events ~should_stop g ~deadline sol
 
 (* Population mode: [pop] delta-evaluated walkers advance through the
    same cooling ladder, stepped round-robin off one shared RNG (walker
@@ -301,8 +303,8 @@ let run ?(params = default_params) ?(eval = `Delta)
    tracking is coarser than {!run}'s per-accept tracking — the
    population trades that for breadth. *)
 let run_population ?(params = default_params) ?(pop = 8)
-    ?(pool = Pool.sequential) ?(events = Events.noop) ~rng ~model g ~deadline
-    =
+    ?(pool = Pool.sequential) ?(events = Events.noop)
+    ?(should_stop = fun () -> false) ~rng ~model g ~deadline =
   check_params params;
   if pop < 1 then invalid_arg "Annealing.run_population: pop < 1";
   let sol0 = start_solution ~model g ~deadline in
@@ -325,7 +327,7 @@ let run_population ?(params = default_params) ?(pop = 8)
   let acc0 = probe.Probe.anneal_accepted
   and rej0 = probe.Probe.anneal_rejected in
   let level = ref 0 in
-  while !temperature > params.temperature_floor do
+  while !temperature > params.temperature_floor && not (should_stop ()) do
     let lacc = if ev_on then probe.Probe.anneal_accepted else 0
     and lrej = if ev_on then probe.Probe.anneal_rejected else 0 in
     for w = 0 to pop - 1 do

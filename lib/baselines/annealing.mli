@@ -28,10 +28,16 @@ val default_params : params
 
 val run :
   ?params:params -> ?eval:[ `Delta | `Reference ] ->
-  ?events:Batsched_obs.Events.t ->
+  ?events:Batsched_obs.Events.t -> ?should_stop:(unit -> bool) ->
   rng:Batsched_numeric.Rng.t -> model:Model.t ->
   Graph.t -> deadline:float -> Solution.t
 (** Anneal from the Chowdhury starting point.
+
+    [should_stop] (default [fun () -> false]) is polled once per
+    temperature level; when it turns true the walk stops and the best
+    solution found so far is returned — the anytime cancellation hook
+    the serve daemon uses.  A hook that never fires leaves the RNG
+    stream and the result bit-identical to an unhooked run.
 
     [events] (default noop) receives convergence records: one
     [anneal_start], one [anneal_level] per temperature level (with the
@@ -55,7 +61,7 @@ val run :
 
 val run_population :
   ?params:params -> ?pop:int -> ?pool:Batsched_numeric.Pool.t ->
-  ?events:Batsched_obs.Events.t ->
+  ?events:Batsched_obs.Events.t -> ?should_stop:(unit -> bool) ->
   rng:Batsched_numeric.Rng.t -> model:Model.t ->
   Graph.t -> deadline:float -> Solution.t
 (** Population variant: [pop] (default 8) delta-evaluated walkers share

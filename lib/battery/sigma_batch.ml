@@ -109,16 +109,12 @@ let eval t ~pop ~n ~current ~duration =
   | None -> probe.Probe.batch_fallbacks <- probe.Probe.batch_fallbacks + pop);
   let workers = Stdlib.min (Pool.size t.pool) pop in
   if workers <= 1 then run_range t 0 pop
-  else begin
-    (* contiguous candidate shards; disjoint [sigmas] indices make the
-       cross-domain writes race-free *)
-    let shards =
-      Array.init workers (fun w ->
-          (w * pop / workers, (w + 1) * pop / workers))
-    in
-    ignore
-      (Pool.map_array t.pool (fun (lo, hi) -> run_range t lo hi) shards)
-  end
+  else
+    (* adaptive candidate spans; disjoint [sigmas] indices make the
+       cross-domain writes race-free.  [for_range] lets the pool split
+       and steal spans instead of committing to pre-strided shards, so
+       skewed per-candidate costs rebalance. *)
+    Pool.for_range t.pool ~n:pop (fun lo hi -> run_range t lo hi)
 
 let sigma t p =
   if p < 0 || p >= t.pop then invalid_arg "Sigma_batch.sigma: out of range";

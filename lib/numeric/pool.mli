@@ -1,26 +1,37 @@
-(** Fork-join fan-out over OCaml 5 domains.
+(** Persistent work-stealing executor over OCaml 5 domains.
 
-    A pool is a {e requested} degree of parallelism; each parallel
-    region spawns up to [size - 1] fresh domains (the calling domain
-    works too) and joins them before returning.  No domains linger
-    between calls, so a pool value is cheap to create, store in a
-    config, and share.
+    A pool owns a set of long-lived worker domains (spawned lazily on
+    first parallel use, so a never-used pool costs nothing) and deals
+    parallel regions through per-worker Chase–Lev deques: whoever picks
+    up an index range splits it in half while it is above the region's
+    grain, pushing the upper half for thieves, so chunk sizes adapt to
+    the actual cost skew instead of a static stride.  Idle workers
+    steal from victims chosen by a deterministic per-worker RNG, then
+    park; between regions the pool consumes no CPU.
 
     {2 Determinism}
 
     [map_*] returns results in input order, regardless of which domain
     computed what, and the work function sees exactly the same
     arguments as a sequential [map] — parallel and sequential runs are
-    bit-identical for pure (or domain-local-state-only) functions.  If
-    several items raise, the exception of the {e smallest index} is
-    re-raised, matching the first failure a sequential scan would
-    surface.
+    bit-identical for pure (or domain-local-state-only) functions, at
+    any pool size.  If several items raise, the exception of the
+    {e smallest index} is re-raised, matching the first failure a
+    sequential scan would surface.
 
     {2 Nesting}
 
-    A [map] issued from inside a worker of another region runs
-    sequentially on that worker: composing a multistart fan-out with a
-    window-sweep fan-out cannot oversubscribe the machine. *)
+    A [map] issued from inside a worker of another region (or from a
+    {!submit}ted job) runs sequentially on that worker: composing a
+    multistart fan-out with a window-sweep fan-out cannot oversubscribe
+    the machine.
+
+    {2 Lifecycle}
+
+    Worker domains persist until {!shutdown} (or process exit).  The
+    process-wide helper-domain count is capped well below the runtime's
+    domain limit; pools created past the cap degrade gracefully to
+    sequential execution.  Prefer {!with_pool} for scoped use. *)
 
 type t
 
@@ -28,7 +39,9 @@ val sequential : t
 (** The size-1 pool: every [map] runs inline, no domains spawned. *)
 
 val create : int -> t
-(** [create size] requests up to [size] concurrent domains per region.
+(** [create size] requests up to [size] concurrent domains per region
+    (the calling domain works too, as worker 0).  Workers are spawned
+    on first parallel use, not here.
     @raise Invalid_argument if [size < 1]. *)
 
 val recommended : unit -> int
@@ -42,32 +55,95 @@ val size : t -> int
 (** The requested degree of parallelism. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving parallel map.  Work is dealt in strides (worker
-    [w] takes indices [w], [w + workers], ...), which balances
-    index-correlated costs. *)
+(** Order-preserving parallel map with work-stealing load balancing. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
-(** As {!map_array}, on lists.  (Empty and singleton lists short-cut
-    without entering {!map_array}.) *)
+(** As {!map_array}, on lists.  Sequential and nested calls take a
+    direct list path (no intermediate arrays); parallel calls convert
+    once. *)
+
+val for_range : t -> n:int -> (int -> int -> unit) -> unit
+(** [for_range pool ~n f] covers [0, n)] with disjoint half-open spans
+    [f lo hi], adaptively sized and possibly concurrent.  [f] must
+    only write state disjoint per index (e.g. structure-of-arrays
+    columns).  Sequential and nested calls run [f 0 n] inline.  If
+    spans raise, the exception of the smallest [lo] is re-raised. *)
+
+val map_array_strided : t -> ('a -> 'b) -> 'a array -> 'b array
+(** The legacy fork-join path: fresh domains spawned per region, work
+    dealt by static striding (worker [w] takes indices [w],
+    [w + workers], ...).  Same results contract as {!map_array}; kept
+    as a benchmark baseline and test oracle. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit pool job] hands [job] to an idle worker and returns
+    immediately; jobs run with region nesting in effect, so parallel
+    regions opened inside a job degrade to sequential.  Exceptions
+    escaping [job] are dropped — jobs own their error handling.  On a
+    pool with no helper domains (size 1, or budget exhausted) the job
+    runs inline before [submit] returns.  Jobs still queued at
+    {!shutdown} are discarded. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's worker domains (finishing whatever task
+    each is running) and return them to the process-wide budget.
+    Idempotent.  Subsequent [map]s on the pool run sequentially. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool size f] is [f (create size)] with a guaranteed
+    {!shutdown} on exit ([Fun.protect]). *)
 
 (** {2 Observability}
 
-    [map_array] counts every mapped item into {!Probe.pool_tasks} and
-    every region that actually fans out into {!Probe.pool_regions}, and
-    each worker domain {!Probe.drain_local}s its counters before it
-    exits, so per-domain work counts survive the join. *)
+    [map_array]/[map_list]/[for_range] count every item into
+    {!Probe.pool_tasks} and every region that actually fans out into
+    {!Probe.pool_regions}; successful steals count into
+    {!Probe.pool_steals}.  Each participating worker
+    {!Probe.drain_local}s its counters before the region join (and
+    after each job), so per-domain work counts are always visible in
+    {!Probe.totals} when a region or job has completed.  When
+    {!Probe.observing} is on, every participant also observes its
+    busy-fraction for the region as ["pool/occupancy"]. *)
+
+type worker_stat = {
+  items : int;  (** region items executed by this slot *)
+  chunks : int;  (** chunks (split ranges) executed *)
+  steals : int;  (** successful steals from other deques *)
+  jobs : int;  (** {!submit}ted jobs executed *)
+  busy_s : float;  (** wall-clock seconds spent executing *)
+}
+
+val worker_stats : t -> worker_stat array
+(** Per-slot counters since the executor started: index 0 is the
+    region-calling domains, 1.. the persistent workers.  Empty if the
+    executor has not started (no parallel use yet, or already shut
+    down).  Counters are read racily — totals may trail reality by a
+    task while workers are mid-flight. *)
+
+val live_workers : t -> int
+(** Helper domains currently alive for this pool (0 before first
+    parallel use and after {!shutdown}). *)
 
 val worker_index : unit -> int
 (** The calling domain's worker slot within the current parallel
-    region ([0] = the calling domain), [0] outside any region.  Used
-    to tag telemetry records with which worker produced them. *)
+    region or job ([0] = the calling domain), [0] outside any region.
+    Used to tag telemetry records with which worker produced them. *)
 
 val set_worker_hooks :
   on_start:(int -> unit) -> on_finish:(int -> unit) -> unit
-(** Install hooks run {e inside} each worker domain around its slice of
-    a parallel region: [on_start w] before the first item, [on_finish w]
-    after the last (also on exception), where [w] is the worker index
-    ([0] = the calling domain).  One global hook pair; installing
-    replaces the previous one.  Used by [Batsched_obs.Sink] to tag
-    trace tracks and flush span buffers — library users normally never
-    call this. *)
+(** Install hooks run {e inside} each worker domain around its share of
+    a parallel region or job: [on_start w] before it first executes,
+    [on_finish w] when it runs out of region work (also on exception),
+    where [w] is the worker slot ([0] = the calling domain).  A
+    persistent worker may start and finish several times within one
+    region if it goes idle and then steals back in.  One global hook
+    pair; installing replaces the previous one.  Used by
+    [Batsched_obs.Sink] to tag trace tracks and flush span buffers —
+    library users normally never call this. *)
+
+val set_task_delay : (unit -> unit) option -> unit
+(** Test-only: run the given thunk before every chunk execution, on
+    whichever domain executes it.  Dilating chunks this way forces
+    steal interleavings that are hard to hit on few cores; the tests
+    use it to check determinism under stealing.  [None] removes the
+    hook. *)

@@ -25,6 +25,7 @@ type t = {
   mutable fcache_evictions : int;
   mutable pool_regions : int;
   mutable pool_tasks : int;
+  mutable pool_steals : int;
   mutable named : (string * int) list;
 }
 
@@ -55,6 +56,7 @@ let zero () =
     fcache_evictions = 0;
     pool_regions = 0;
     pool_tasks = 0;
+    pool_steals = 0;
     named = [] }
 
 (* Named counters: a tiny assoc list, because the key population is a
@@ -104,6 +106,7 @@ let add ~into c =
   into.fcache_evictions <- into.fcache_evictions + c.fcache_evictions;
   into.pool_regions <- into.pool_regions + c.pool_regions;
   into.pool_tasks <- into.pool_tasks + c.pool_tasks;
+  into.pool_steals <- into.pool_steals + c.pool_steals;
   List.iter (fun (name, v) -> bump_named into name v) c.named
 
 let clear c =
@@ -133,6 +136,7 @@ let clear c =
   c.fcache_evictions <- 0;
   c.pool_regions <- 0;
   c.pool_tasks <- 0;
+  c.pool_steals <- 0;
   c.named <- []
 
 let fields =
@@ -161,7 +165,8 @@ let fields =
     ("delta_ck_restores", fun c -> c.delta_ck_restores);
     ("fcache_evictions", fun c -> c.fcache_evictions);
     ("pool_regions", fun c -> c.pool_regions);
-    ("pool_tasks", fun c -> c.pool_tasks) ]
+    ("pool_tasks", fun c -> c.pool_tasks);
+    ("pool_steals", fun c -> c.pool_steals) ]
 
 (* Distribution observer: hot paths hand scalar observations (Fcache
    probe lengths, delta commit batch sizes, ...) to whoever installed

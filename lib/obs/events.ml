@@ -41,6 +41,11 @@ type mode =
   | Buffered of out_channel
   | Live of out_channel
   | Memory
+  | Stream of out_channel
+    (* live rendering to a borrowed channel, nothing retained: the
+       sink for long-running daemons, where keeping every record would
+       grow without bound.  The channel (typically stdout) stays open
+       across [close]. *)
 
 type state = {
   mode : mode;
@@ -50,11 +55,11 @@ type state = {
   mutable records : record list;  (* newest first *)
 }
 
-type t = Noop | Active of state
+type t = Noop | Active of state | Tagged of state * (string * field) list
 
 let noop = Noop
 
-let is_active = function Noop -> false | Active _ -> true
+let is_active = function Noop -> false | Active _ | Tagged _ -> true
 
 let now_ns () = Monotonic_clock.now ()
 
@@ -71,6 +76,8 @@ let create ?(live = true) path =
   make (if live then Live oc else Buffered oc)
 
 let create_memory () = make Memory
+
+let create_channel oc = make (Stream oc)
 
 (* Rendering helpers.  Strings are almost always plain identifiers,
    so the escape scan avoids [Json.escape_string]'s allocation on that
@@ -126,39 +133,51 @@ let render buf r =
    the clock read happens outside the lock; the seq stamp, the cons and
    — in live mode — the whole-line write happen inside, so the file
    order matches the seq order and lines never interleave. *)
+let with_tags t tags =
+  match t with
+  | Noop -> Noop
+  | Active st -> Tagged (st, tags)
+  | Tagged (st, base) -> Tagged (st, base @ tags)
+
+let emit_st st kind fields =
+  let now = Monotonic_clock.now () in
+  let t_ns = Int64.sub now st.epoch_ns in
+  Mutex.lock st.mutex;
+  let seq = st.seq in
+  st.seq <- seq + 1;
+  let r = { seq; t_ns; kind; fields } in
+  (match st.mode with
+  | Stream _ -> () (* unbounded daemons: render only, retain nothing *)
+  | Buffered _ | Live _ | Memory -> st.records <- r :: st.records);
+  (match st.mode with
+  | Live oc | Stream oc ->
+      let buf = Buffer.create 128 in
+      render buf r;
+      Buffer.output_buffer oc buf;
+      flush oc
+  | Buffered _ | Memory -> ());
+  Mutex.unlock st.mutex
+
 let emit t kind fields =
   match t with
   | Noop -> ()
-  | Active st ->
-      let now = Monotonic_clock.now () in
-      let t_ns = Int64.sub now st.epoch_ns in
-      Mutex.lock st.mutex;
-      let seq = st.seq in
-      st.seq <- seq + 1;
-      let r = { seq; t_ns; kind; fields } in
-      st.records <- r :: st.records;
-      (match st.mode with
-      | Live oc ->
-          let buf = Buffer.create 128 in
-          render buf r;
-          Buffer.output_buffer oc buf;
-          flush oc
-      | Buffered _ | Memory -> ());
-      Mutex.unlock st.mutex
+  | Tagged (st, tags) -> emit_st st kind (fields @ tags)
+  | Active st -> emit_st st kind fields
 
 let snapshot = function
   | Noop -> []
-  | Active st ->
+  | Active st | Tagged (st, _) ->
       Mutex.lock st.mutex;
       let rs = st.records in
       Mutex.unlock st.mutex;
       List.rev rs
 
 let close = function
-  | Noop -> ()
+  | Noop | Tagged _ -> ()
   | Active st -> (
       match st.mode with
       | Memory -> ()
+      | Stream oc -> flush oc (* borrowed channel: the caller closes it *)
       | Live oc -> close_out oc
       | Buffered oc ->
           let records = List.rev st.records in

@@ -46,6 +46,22 @@ val create_memory : unit -> t
     only.  Used by the run ledger to capture a convergence curve when
     no [--events] file was requested. *)
 
+val create_channel : out_channel -> t
+(** An active stream rendering each record live to a {e borrowed}
+    channel and retaining nothing in memory — the sink for
+    long-running daemons ([basched serve] writes responses to stdout
+    this way), where accumulating records would grow without bound.
+    {!snapshot} returns [[]]; {!close} flushes but does not close the
+    channel. *)
+
+val with_tags : t -> (string * field) list -> t
+(** [with_tags t tags] is a derived stream sharing [t]'s clock, mutex
+    and sink, with [tags] appended to every record's fields — how the
+    serve daemon stamps one request's search events with its request
+    id on the shared response stream.  Derived streams nest (tags
+    accumulate); {!close} on a derived stream is a no-op — close the
+    underlying [t] instead. *)
+
 val emit : t -> string -> (string * field) list -> unit
 (** [emit t kind fields] appends one record.  Non-finite floats are
     written as [null] so the stream stays parseable JSON. *)

@@ -54,7 +54,14 @@ let parse text =
               go ()
           | Some (('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c) ->
               advance ();
-              Buffer.add_char buf c;
+              Buffer.add_char buf
+                (match c with
+                | 'b' -> '\b'
+                | 'f' -> '\012'
+                | 'n' -> '\n'
+                | 'r' -> '\r'
+                | 't' -> '\t'
+                | c -> c);
               go ()
           | _ -> fail "bad escape")
       | Some c ->

@@ -107,6 +107,7 @@ cut off after the counters):
     fcache_evictions              0
     pool_regions                  0
     pool_tasks                    4
+    pool_steals                   0
     fmemo hit rate            41.7%  (12 lookups)
     contrib hit rate          71.4%  (21 lookups)
 

@@ -419,6 +419,78 @@ let test_pool_validation () =
     (fun () -> ignore (Pool.create 0));
   Alcotest.(check bool) "recommended positive" true (Pool.recommended () >= 1)
 
+let test_pool_map_list_direct () =
+  (* the sequential/nested path builds the list directly (no array
+     round-trip); a long list must not overflow the stack *)
+  let n = 200_000 in
+  let xs = List.init n Fun.id in
+  let out = Pool.map_list Pool.sequential succ xs in
+  Alcotest.(check int) "length" n (List.length out);
+  Alcotest.(check int) "head" 1 (List.hd out);
+  Alcotest.(check int) "last" n (List.nth out (n - 1));
+  Alcotest.check_raises "exceptions pass through" (Failure "direct") (fun () ->
+      ignore
+        (Pool.map_list Pool.sequential
+           (fun x -> if x = 7 then failwith "direct" else x)
+           (List.init 16 Fun.id)))
+
+let test_pool_for_range () =
+  Pool.with_pool 4 @@ fun pool ->
+  let n = 1000 in
+  let out = Array.make n 0 in
+  Pool.for_range pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- i * i
+      done);
+  Alcotest.(check bool) "span cover" true
+    (out = Array.init n (fun i -> i * i));
+  Alcotest.check_raises "smallest lo wins" (Failure "span-0") (fun () ->
+      Pool.for_range pool ~n:64 (fun lo _ ->
+          if lo < 32 then failwith (Printf.sprintf "span-%d" lo)))
+
+let test_pool_submit_and_shutdown () =
+  let pool = Pool.create 4 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 8 do
+    Pool.submit pool (fun () -> Atomic.incr hits)
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get hits < 8 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check int) "all jobs ran" 8 (Atomic.get hits);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.(check int) "no workers after shutdown" 0 (Pool.live_workers pool);
+  (* maps on a shut-down pool degrade to sequential, same results *)
+  let xs = Array.init 40 Fun.id in
+  Alcotest.(check bool) "post-shutdown map" true
+    (Pool.map_array pool succ xs = Array.map succ xs);
+  (* a job submitted after shutdown runs inline *)
+  Pool.submit pool (fun () -> Atomic.incr hits);
+  Alcotest.(check int) "inline job" 9 (Atomic.get hits)
+
+(* Determinism under forced steals: a per-chunk delay dilates execution
+   enough that idle workers steal (single-core hosts otherwise rarely
+   interleave), and the output must still be bit-identical to the
+   sequential map, run after run. *)
+let test_pool_determinism_under_steals () =
+  Pool.with_pool 4 @@ fun pool ->
+  let xs = Array.init 96 (fun i -> float_of_int (i + 1)) in
+  let f x = Series.exp_sum ~beta:0.273 x in
+  let expected = Array.map f xs in
+  Fun.protect ~finally:(fun () -> Pool.set_task_delay None) @@ fun () ->
+  Pool.set_task_delay (Some (fun () -> Unix.sleepf 0.0002));
+  for run = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "run %d bit-identical" run)
+      true
+      (Pool.map_array pool f xs = expected)
+  done;
+  let stats = Pool.worker_stats pool in
+  let steals = Array.fold_left (fun a s -> a + s.Pool.steals) 0 stats in
+  Alcotest.(check bool) "steals actually happened" true (steals > 0)
+
 (* --- qcheck properties --- *)
 
 let prop_kahan_matches_naive_small =
@@ -509,12 +581,59 @@ let prop_fcache_matches_hashtbl_model =
           hit_ok && Float.equal v (Fcache.find3 t k0 1.5 (-2.0)))
         keys)
 
+(* One long-lived pool per size, shared across qcheck cases: pools are
+   cheap to create but their worker domains persist, and creating one
+   per generated case would drain the process-wide helper budget. *)
+let prop_pools =
+  [ (1, Pool.create 1); (2, Pool.create 2); (4, Pool.create 4) ]
+
+let prop_pool_of_size k = List.assoc k prop_pools
+
+let pool_size_gen = QCheck.(map (fun b -> 1 lsl b) (int_bound 2))
+
 let prop_pool_map_matches_sequential =
   QCheck.Test.make ~count:50 ~name:"pool map is order-preserving"
-    QCheck.(pair (int_range 1 6) (small_list small_int))
+    QCheck.(pair pool_size_gen (small_list small_int))
     (fun (size, xs) ->
-      Pool.map_list (Pool.create size) (fun x -> x * 3) xs
+      Pool.map_list (prop_pool_of_size size) (fun x -> x * 3) xs
       = List.map (fun x -> x * 3) xs)
+
+(* The three execution strategies — inline, persistent work-stealing,
+   legacy fork-join striding — must be indistinguishable from results
+   alone, at every pool size. *)
+let prop_pool_steal_matches_oracles =
+  QCheck.Test.make ~count:30
+    ~name:"work-stealing map = sequential map = strided map"
+    QCheck.(pair pool_size_gen (list_of_size Gen.(int_range 0 80) small_int))
+    (fun (size, xs) ->
+      let pool = prop_pool_of_size size in
+      let f x = Series.exp_sum ~beta:0.273 (float_of_int (abs x mod 50)) in
+      let xs = Array.of_list xs in
+      let seq = Array.map f xs in
+      Pool.map_array pool f xs = seq
+      && Pool.map_array_strided pool f xs = seq)
+
+(* If several items raise, the re-raised exception must be the one a
+   sequential left-to-right scan would surface first — for the
+   work-stealing path and the strided oracle alike. *)
+let prop_pool_first_exception_identity =
+  QCheck.Test.make ~count:30 ~name:"first-exception identity under parallelism"
+    QCheck.(
+      triple pool_size_gen
+        (int_range 1 60)
+        (list_of_size Gen.(int_range 1 6) (int_bound 59)))
+    (fun (size, n, bad) ->
+      let pool = prop_pool_of_size size in
+      let f i = if List.mem i bad then failwith (string_of_int i) else i in
+      let xs = Array.init n Fun.id in
+      let outcome map =
+        match map () with
+        | (_ : int array) -> None
+        | exception Failure msg -> Some msg
+      in
+      let seq = outcome (fun () -> Array.map f xs) in
+      outcome (fun () -> Pool.map_array pool f xs) = seq
+      && outcome (fun () -> Pool.map_array_strided pool f xs) = seq)
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
@@ -526,7 +645,9 @@ let qcheck_tests =
       prop_kernel_zero_a_matches_direct;
       prop_exp_sum_cached_bit_identical;
       prop_fcache_matches_hashtbl_model;
-      prop_pool_map_matches_sequential ]
+      prop_pool_map_matches_sequential;
+      prop_pool_steal_matches_oracles;
+      prop_pool_first_exception_identity ]
 
 let () =
   Alcotest.run "numeric"
@@ -597,7 +718,12 @@ let () =
           Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
           Alcotest.test_case "nested runs sequentially" `Quick test_pool_nested_runs_sequentially;
           Alcotest.test_case "exception order" `Quick test_pool_exception_first_index;
-          Alcotest.test_case "validation" `Quick test_pool_validation ] );
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+          Alcotest.test_case "map_list direct path" `Quick test_pool_map_list_direct;
+          Alcotest.test_case "for_range" `Quick test_pool_for_range;
+          Alcotest.test_case "submit and shutdown" `Quick test_pool_submit_and_shutdown;
+          Alcotest.test_case "determinism under steals" `Quick
+            test_pool_determinism_under_steals ] );
       ( "tridiag",
         [ Alcotest.test_case "identity" `Quick test_tridiag_identity;
           Alcotest.test_case "known system" `Quick test_tridiag_known_system;
