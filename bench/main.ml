@@ -344,9 +344,44 @@ let scenario_serve =
     ("serve-soak/mixed-200",
      fun () -> ignore (Batsched_serve.Soak.run ~pool:pool4 ~n:200 ())) ]
 
+(* Periodic endurance, fast vs oracle: the same mission costed through
+   the O(cycles) closed-form kernel and the from-scratch quadratic
+   replay.  Both rows censor at the cycle cap (alpha far above reach),
+   so the cap IS the workload; the fast/reference ratio at 60 vs 240
+   cycles shows the superlinear win (the oracle's cost grows with the
+   square of the cycle count, the kernel's linearly).  The fleet row is
+   the whole Monte Carlo engine — sampler, batch kernel, survival
+   accumulators — over the built-in 100k-device population, the
+   devices/sec figure EXPERIMENTS.md quotes. *)
+let scenario_fleet =
+  let mission =
+    Batsched_battery.Profile.constant ~current:800.0 ~duration:20.0
+  in
+  let fast cycles () =
+    ignore
+      (Batsched_battery.Periodic.cycles_to_death ~max_cycles:cycles ~model
+         ~alpha:1e9 ~period:40.0 mission)
+  in
+  let reference cycles () =
+    ignore
+      (Batsched_battery.Periodic.cycles_to_death_reference ~max_cycles:cycles
+         ~model ~alpha:1e9 ~period:40.0 mission)
+  in
+  let pool4 = Batsched_numeric.Pool.create 4 in
+  [ ("periodic-fast/rv-60", fast 60);
+    ("periodic-reference/rv-60", reference 60);
+    ("periodic-fast/rv-240", fast 240);
+    ("periodic-reference/rv-240", reference 240);
+    ("fleet-100k/default-pool4",
+     fun () ->
+       ignore
+         (Batsched_fleet.Engine.run ~pool:pool4
+            ~spec:Batsched_fleet.Spec.default ~devices:100_000 ~seed:42 ()))
+  ]
+
 let scenarios =
   scenario_kernels @ scenario_artifacts @ scenario_scaling @ scenario_choose
-  @ scenario_serve
+  @ scenario_serve @ scenario_fleet
 
 (* --- smoke: run every scenario exactly once --- *)
 

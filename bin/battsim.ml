@@ -35,7 +35,8 @@ let ledger_arg =
            ~doc:"Record a run manifest (tool, knobs, counters, wall time) \
                  in this ledger directory (also via BATSCHED_LEDGER).")
 
-let with_obs ~label ~knobs stats trace_out metrics_out ledger_out f =
+let with_obs ?(seed = 0) ?(pool_size = 1) ~label ~knobs stats trace_out
+    metrics_out ledger_out f =
   Batsched_obs.Log.init_from_env ();
   let stats = stats || Batsched_obs.Log.env_stats () in
   let metrics_out =
@@ -80,8 +81,8 @@ let with_obs ~label ~knobs stats trace_out metrics_out ledger_out f =
               instance_hash = "";
               model =
                 Option.value ~default:"" (List.assoc_opt "model" knobs);
-              seed = 0;
-              pool_size = 1;
+              seed;
+              pool_size;
               knobs;
               wall_s = Unix.gettimeofday () -. wall0;
               sigma = None;
@@ -280,14 +281,23 @@ let cycles current burst period alpha beta model_name stats trace_out
         (match
            Periodic.cycles_to_death ~model ~alpha ~period cycle
          with
-        | n ->
+        | Periodic.Dies n ->
             Printf.printf
               "%.0f mA for %.1f min every %.1f min: %d complete cycles \
                (ideal ceiling %.1f)\n"
               current burst period n
               (alpha /. (current *. burst))
-        | exception Periodic.Unsustainable ->
-            Printf.printf "the first cycle already exhausts the battery\n");
+        | Periodic.Censored n ->
+            Printf.printf
+              "%.0f mA for %.1f min every %.1f min: still alive after %d \
+               cycles (ideal ceiling %.1f)\n"
+              current burst period n
+              (alpha /. (current *. burst))
+        | exception Periodic.Unsustainable sigma ->
+            Printf.printf
+              "the first cycle already exhausts the battery (sigma %.0f over \
+               alpha %.0f)\n"
+              sigma alpha);
         `Ok ()
       end
 
@@ -305,9 +315,123 @@ let cycles_cmd =
          $ beta_arg $ model_arg $ stats_arg $ trace_out_arg
          $ metrics_out_arg $ ledger_arg))
 
+(* fleet: Monte Carlo endurance over a population of devices *)
+let fleet spec_path devices pool_size seed json_out events_out stats trace_out
+    metrics_out ledger =
+  with_obs ~label:"fleet" ~seed ~pool_size
+    ~knobs:
+      [ ("spec", Option.value ~default:"(built-in)" spec_path);
+        ("devices", string_of_int devices);
+        ("pool", string_of_int pool_size); ("seed", string_of_int seed) ]
+    stats trace_out metrics_out ledger
+  @@ fun () ->
+  let spec =
+    match spec_path with
+    | None -> Ok Batsched_fleet.Spec.default
+    | Some path -> Batsched_fleet.Spec.of_file path
+  in
+  match spec with
+  | Error msg -> `Error (false, msg)
+  | Ok spec ->
+      if devices < 0 then `Error (false, "devices must be non-negative")
+      else if pool_size < 1 then `Error (false, "pool must be at least 1")
+      else begin
+        let events =
+          match events_out with
+          | Some path -> Batsched_obs.Events.create path
+          | None -> Batsched_obs.Events.noop
+        in
+        let result =
+          Batsched_numeric.Pool.with_pool pool_size (fun pool ->
+              Batsched_fleet.Engine.run ~pool ~events ~spec ~devices ~seed ())
+        in
+        let module S = Batsched_fleet.Survival in
+        Printf.printf "fleet: %d devices, horizon %d cycles (seed %d, pool %d)\n"
+          (S.n result) spec.Batsched_fleet.Spec.horizon seed pool_size;
+        if S.n result > 0 then begin
+          Printf.printf "  deaths %d, censored %d, mean lifetime %.1f cycles\n"
+            (S.n result - S.censored result)
+            (S.censored result) (S.mean_cycles result);
+          Printf.printf "  quantiles: p1=%d p5=%d p50=%d p90=%d p99=%d\n"
+            (S.quantile result 1.0) (S.quantile result 5.0)
+            (S.quantile result 50.0) (S.quantile result 90.0)
+            (S.quantile result 99.0);
+          Array.iter
+            (fun (label, n, censored, mean) ->
+              Printf.printf "  model %-12s %6d devices, %6d censored" label n
+                censored;
+              if n > 0 then Printf.printf ", mean %.1f" mean;
+              print_newline ())
+            (S.per_model result)
+        end;
+        Printf.printf "  checksum %s\n" (S.checksum result);
+        (match json_out with
+        | None -> ()
+        | Some out ->
+            let buf = Buffer.create 4096 in
+            S.to_json result buf;
+            Buffer.add_char buf '\n';
+            if out = "-" then print_string (Buffer.contents buf)
+            else begin
+              let oc = open_out out in
+              Buffer.output_buffer oc buf;
+              close_out oc;
+              Printf.printf "wrote fleet report to %s\n" out
+            end);
+        (match events_out with
+        | Some path ->
+            Batsched_obs.Events.close events;
+            Printf.printf "wrote events to %s\n" path
+        | None -> ());
+        `Ok ()
+      end
+
+let spec_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Fleet population spec (JSON).  Omit for the built-in \
+                 default population (all four analytic models over the g2 \
+                 mission).")
+
+let devices_arg =
+  Arg.(value & opt int 1000
+       & info [ "devices" ] ~docv:"N" ~doc:"Number of devices to simulate.")
+
+let pool_arg =
+  Arg.(value & opt int 1
+       & info [ "pool" ] ~docv:"K"
+           ~doc:"Worker pool size.  Results are bit-identical for any K.")
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"S"
+           ~doc:"Base RNG seed; device $(i,i) draws from an independent \
+                 substream of (seed, i), so a given device's parameters do \
+                 not depend on N or K.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full survival report (quantiles, staircase, \
+                 per-model tallies, checksum) as JSON; \"-\" for stdout.")
+
+let events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Write a JSONL progress stream (fleet-block / fleet-done \
+                 records).")
+
+let fleet_cmd =
+  Cmd.v (Cmd.info "fleet" ~doc:"Monte Carlo fleet endurance")
+    Term.(
+      ret
+        (const fleet $ spec_arg $ devices_arg $ pool_arg $ seed_arg
+         $ json_arg $ events_arg $ stats_arg $ trace_out_arg
+         $ metrics_out_arg $ ledger_arg))
+
 let main =
   Cmd.group
     (Cmd.info "battsim" ~doc:"battery model explorer")
-    [ lifetime_cmd; sigma_cmd; curve_cmd; cycles_cmd ]
+    [ lifetime_cmd; sigma_cmd; curve_cmd; cycles_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -25,6 +25,12 @@ let batch =
           sigmas.(p) <- Batsched_numeric.Kahan.Acc.sum acc
         done) }
 
+(* no memory at all: the decay decomposition is the bare charge term *)
+let decay =
+  { Model.rates = [||];
+    weights = (fun ~current:_ ~duration:_ _ -> ());
+    charge = (fun ~current ~duration -> current *. duration) }
+
 let model =
   { Model.name = "ideal"; sigma; incremental = Some incremental;
-    stepper = None; batch = Some batch }
+    stepper = None; batch = Some batch; decay = Some decay }

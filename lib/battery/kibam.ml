@@ -121,8 +121,23 @@ let batch params =
           sigmas.(p) <- Kahan.Acc.sum acc
         done) }
 
+(* The eigen-split above is already a one-channel decay decomposition:
+   the disequilibrium term relaxes at rate k' whatever follows the
+   interval (rest included — zero current forces nothing), so the
+   suffix-time identity extends verbatim to gapped profiles and to
+   {!Periodic}'s repeated-cycle telescoping. *)
+let decay params =
+  let k' = params.k_prime in
+  let coef = (1.0 -. params.c) /. (params.c *. k') in
+  { Model.rates = [| k' |];
+    weights =
+      (fun ~current ~duration buf ->
+        buf.(0) <- coef *. current *. (1.0 -. exp (-.k' *. duration)));
+    charge = (fun ~current ~duration -> current *. duration) }
+
 let model ?(params = default_params) () =
   { Model.name = "kibam"; sigma = (fun p ~at -> sigma ~params p ~at);
     incremental = Some (incremental params);
     stepper = None;
-    batch = Some (batch params) }
+    batch = Some (batch params);
+    decay = Some (decay params) }

@@ -3,6 +3,12 @@ type incremental = {
   tail_sensitive : bool;
 }
 
+type decay = {
+  rates : float array;
+  weights : current:float -> duration:float -> float array -> unit;
+  charge : current:float -> duration:float -> float;
+}
+
 type stepper_ops = {
   start : float array -> unit;
   advance : float array -> current:float -> duration:float -> unit;
@@ -32,6 +38,7 @@ type t = {
   incremental : incremental option;
   stepper : stepper option;
   batch : batch option;
+  decay : decay option;
 }
 
 let sigma_end m p = m.sigma p ~at:(Profile.length p)

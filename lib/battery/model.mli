@@ -46,6 +46,38 @@ type stepper_ops = {
   observe : float array -> float;
   (** Sigma at the instant the state describes. *)
 }
+type decay = {
+  rates : float array;
+  (** The distinct relaxation rates [lambda_t] (1/minutes) of the
+      model's memory, all [> 0].  Empty for memoryless models (ideal,
+      Peukert). *)
+  weights : current:float -> duration:float -> float array -> unit;
+  (** [weights ~current ~duration buf] writes the channel amplitudes
+      [w_t(I, D)] into [buf] (length [>= Array.length rates]). *)
+  charge : current:float -> duration:float -> float;
+  (** The tail-independent part of the interval's contribution. *)
+}
+(** Exponential-channel decomposition of the per-interval term: the
+    contract is
+
+    {[ term ~current ~duration ~tail
+         = charge ~current ~duration
+           + sum_t (w_t (current, duration) *. exp (-. rates.(t) *. tail)) ]}
+
+    for {e any} observation instant at or after the interval's end —
+    [tail] is wall-clock time from interval end to observation, and the
+    identity holds across idle gaps too (rest only decays the channels,
+    it forces nothing).  This is strictly stronger than {!incremental}
+    (which only speaks at the makespan of a gapless profile): exposing
+    the channel structure is what lets {!Periodic} telescope identical
+    repeated cycles into per-channel geometric series and advance a
+    whole mission in O(1) per cycle.  Models whose sigma is a sum of
+    such terms from a full battery: ideal and Peukert (no channels),
+    KiBaM (one channel, the diagonalized bound-well disequilibrium),
+    Rakhmatov–Vrudhula (one channel per truncated series term).  The
+    diffusion PDE has no finite channel set and uses {!stepper}
+    instead. *)
+
 (** One integration context.  The float-array state representation is
     what lets {!Delta} snapshot and restore checkpoints with flat
     [Array.blit]s, no per-checkpoint allocation. *)
@@ -111,6 +143,11 @@ type t = {
   batch : batch option;
   (** Population-batched kernel, when one exists; {!Sigma_batch} falls
       back to sequential [sigma] calls otherwise. *)
+  decay : decay option;
+  (** Exponential-channel structure of the per-interval term, when the
+      model admits one; {!Periodic}'s linear-time endurance kernel
+      prefers [decay], then [stepper], then falls back to the quadratic
+      full-history path. *)
 }
 
 val sigma_end : t -> Profile.t -> float

@@ -1,6 +1,10 @@
 open Batsched_numeric
 
-exception Unsustainable
+exception Unsustainable of float
+
+type outcome = Dies of int | Censored of int
+
+let cycles = function Dies n -> n | Censored n -> n
 
 let default_max_cycles = 500
 
@@ -10,12 +14,23 @@ let check_inputs ~alpha ~period cycle =
   if Profile.length cycle > period +. 1e-9 then
     invalid_arg "Periodic: cycle longer than the period"
 
+type device = {
+  model : Model.t;
+  alpha : float;
+  period : float;
+  cycle : Profile.t;
+}
+
 (* The peak of sigma inside a cycle occurs at one of its active-interval
    end points (sigma relaxes during idle), so death within cycle k is
-   detected by probing those ends against the profile built so far. *)
-let cycles_to_death ?(max_cycles = default_max_cycles) ~model ~alpha ~period
-    cycle =
-  check_inputs ~alpha ~period cycle;
+   detected by probing those ends against the history built so far. *)
+
+(* Reference path: materialize the growing full history and probe it
+   with the model's own [sigma].  O(cycles^2) interval work — kept
+   verbatim from the original implementation as the oracle the property
+   tests compare the fast kernels against, and as the fallback for
+   models exposing neither [decay] nor [stepper]. *)
+let reference_run ~max_cycles ~model ~alpha ~period cycle =
   let base =
     List.map
       (fun (iv : Profile.interval) ->
@@ -23,28 +38,293 @@ let cycles_to_death ?(max_cycles = default_max_cycles) ~model ~alpha ~period
       (Profile.intervals cycle)
   in
   let rec go k acc =
-    if k >= max_cycles then max_cycles
+    if k >= max_cycles then (Censored max_cycles, Float.nan)
     else begin
       let offset = float_of_int k *. period in
-      let shifted =
-        List.map (fun (s, d, c) -> (s +. offset, d, c)) base
-      in
+      let shifted = List.map (fun (s, d, c) -> (s +. offset, d, c)) base in
       let profile = Profile.of_intervals (List.rev_append acc shifted) in
-      let dead =
-        List.exists
-          (fun (s, d, _) -> model.Model.sigma profile ~at:(s +. d) >= alpha)
+      let fatal =
+        List.find_map
+          (fun (s, d, _) ->
+            let sg = model.Model.sigma profile ~at:(s +. d) in
+            if sg >= alpha then Some sg else None)
           shifted
       in
-      if dead then if k = 0 then raise Unsustainable else k
-      else go (k + 1) (List.rev_append shifted acc)
+      match fatal with
+      | Some sg -> (Dies k, sg)
+      | None -> go (k + 1) (List.rev_append shifted acc)
     end
   in
   go 0 []
 
+let cycles_to_death_reference ?(max_cycles = default_max_cycles) ~model ~alpha
+    ~period cycle =
+  check_inputs ~alpha ~period cycle;
+  match reference_run ~max_cycles ~model ~alpha ~period cycle with
+  | Dies 0, sg -> raise (Unsustainable sg)
+  | outcome, _ -> outcome
+
+module Batch = struct
+  type result = { outcome : outcome; fatal_sigma : float }
+
+  (* Per-device endurance state, compiled once at setup so the per-cycle
+     sweep does constant work per device.
+
+     [Channels] is the closed form for models with a [Model.decay]
+     decomposition.  Write e_j for the end time of the cycle's j-th
+     interval and lambda_t for the channel rates.  Sigma probed at the
+     end of interval j of cycle k is
+
+       sigma(k, j) = k*Q + base_j + sum_t b_{j,t} * g_t(k)
+
+     where Q is the full-cycle charge, base_j bundles the current
+     cycle's own contribution (prefix charge plus intra-cycle channel
+     terms, both independent of k), b_{j,t} is the channel-t
+     contribution of one complete cycle exactly one period in the past,
+     and g_t(k) = sum_{d=0}^{k-1} rho_t^d with rho_t = e^{-lambda_t *
+     period} telescopes the geometric decay of all k prior cycles.  The
+     accumulator update g_t <- 1 + rho_t * g_t after each survived
+     cycle is the whole per-cycle cost: O(probes * channels) flops and
+     zero [exp]s.  Every exponent evaluated at setup is <= ~0 (the
+     cycle fits in the period), so nothing can overflow.
+
+     [Carried] advances a [Model.stepper] state through the mission
+     once instead of re-integrating the whole history per probe —
+     O(cycles) integration work total instead of O(cycles^2).  The
+     arithmetic deliberately mirrors the reference probe ([run_to]
+     targets computed as [start +. offset] and spans as differences
+     against the carried clock), because the reference's from-scratch
+     integration for any probe performs exactly a prefix of the carried
+     advance sequence: the two paths are bit-identical, not just
+     close. *)
+  type channels_state = {
+    nprobe : int;
+    nterm : int;
+    q : float;
+    base : float array;  (* nprobe *)
+    b : float array;     (* nprobe * nterm, row-major by probe *)
+    rho : float array;   (* nterm *)
+    g : float array;     (* nterm; mutable geometric accumulator *)
+  }
+
+  type carried_state = {
+    ops : Model.stepper_ops;
+    u : float array;
+    starts : float array;
+    durations : float array;
+    currents : float array;
+    mutable clock : float;
+  }
+
+  type compiled =
+    | Channels of channels_state
+    | Carried of carried_state
+    | Resolved  (* outcome computed at setup via the reference path *)
+
+  let collect_intervals cycle =
+    let n = Profile.num_intervals cycle in
+    let starts = Array.make n 0.0 in
+    let durations = Array.make n 0.0 in
+    let currents = Array.make n 0.0 in
+    let i = ref 0 in
+    Profile.fold cycle ~init:() ~f:(fun () ~start ~duration ~current ->
+        starts.(!i) <- start;
+        durations.(!i) <- duration;
+        currents.(!i) <- current;
+        incr i);
+    (starts, durations, currents)
+
+  let compile_channels (dc : Model.decay) ~period ~starts ~durations ~currents
+      =
+    let e = Array.length starts in
+    let t = Array.length dc.Model.rates in
+    let ends = Array.init e (fun j -> starts.(j) +. durations.(j)) in
+    let charges =
+      Array.init e (fun i ->
+          dc.Model.charge ~current:currents.(i) ~duration:durations.(i))
+    in
+    let w = Array.make (Stdlib.max 1 (e * t)) 0.0 in
+    let buf = Array.make (Stdlib.max 1 t) 0.0 in
+    for i = 0 to e - 1 do
+      dc.Model.weights ~current:currents.(i) ~duration:durations.(i) buf;
+      Array.blit buf 0 w (i * t) t
+    done;
+    let q = ref 0.0 in
+    Array.iter (fun c -> q := !q +. c) charges;
+    let base = Array.make (Stdlib.max 1 e) 0.0 in
+    let b = Array.make (Stdlib.max 1 (e * t)) 0.0 in
+    let prefix = ref 0.0 in
+    for j = 0 to e - 1 do
+      prefix := !prefix +. charges.(j);
+      let a = ref 0.0 in
+      for i = 0 to j do
+        (* ends.(j) - ends.(i) >= 0 for i <= j: sorted, non-overlapping *)
+        for tt = 0 to t - 1 do
+          a :=
+            !a
+            +. w.((i * t) + tt)
+               *. exp (-.dc.Model.rates.(tt) *. (ends.(j) -. ends.(i)))
+        done
+      done;
+      base.(j) <- !prefix +. !a;
+      for tt = 0 to t - 1 do
+        let s = ref 0.0 in
+        for i = 0 to e - 1 do
+          (* period + e_j - e_i >= 0 up to the 1e-9 fit tolerance: the
+             whole cycle sits within one period *)
+          s :=
+            !s
+            +. w.((i * t) + tt)
+               *. exp
+                    (-.dc.Model.rates.(tt)
+                    *. (period +. ends.(j) -. ends.(i)))
+        done;
+        b.((j * t) + tt) <- !s
+      done
+    done;
+    let rho = Array.map (fun r -> exp (-.r *. period)) dc.Model.rates in
+    Channels
+      { nprobe = e;
+        nterm = t;
+        q = !q;
+        base;
+        b;
+        rho;
+        g = Array.make (Stdlib.max 1 t) 0.0 }
+
+  (* One cycle of one device: probe every interval end, return the
+     first fatal sigma, advance the state only on survival (a dead
+     device is never stepped again, so leaving its state mid-cycle is
+     fine). *)
+  let step_channels d ~alpha ~k =
+    let kf = float_of_int k in
+    let rec probe j =
+      if j >= d.nprobe then None
+      else begin
+        let s = ref ((kf *. d.q) +. d.base.(j)) in
+        for tt = 0 to d.nterm - 1 do
+          s := !s +. (d.b.((j * d.nterm) + tt) *. d.g.(tt))
+        done;
+        if !s >= alpha then Some !s else probe (j + 1)
+      end
+    in
+    match probe 0 with
+    | Some _ as fatal -> fatal
+    | None ->
+        for tt = 0 to d.nterm - 1 do
+          d.g.(tt) <- 1.0 +. (d.rho.(tt) *. d.g.(tt))
+        done;
+        None
+
+  let step_carried c ~alpha ~k ~period =
+    let offset = float_of_int k *. period in
+    let run_to t ~current =
+      if t > c.clock then begin
+        c.ops.Model.advance c.u ~current ~duration:(t -. c.clock);
+        c.clock <- t
+      end
+    in
+    let e = Array.length c.starts in
+    let rec probe j =
+      if j >= e then None
+      else begin
+        let s_abs = c.starts.(j) +. offset in
+        run_to s_abs ~current:0.0;
+        run_to (s_abs +. c.durations.(j)) ~current:c.currents.(j);
+        let sg = c.ops.Model.observe c.u in
+        if sg >= alpha then Some sg else probe (j + 1)
+      end
+    in
+    probe 0
+
+  let run ?(max_cycles = default_max_cycles) ~n ~device () =
+    if n < 0 then invalid_arg "Periodic.Batch.run: negative device count";
+    let results =
+      Array.make n { outcome = Censored max_cycles; fatal_sigma = Float.nan }
+    in
+    if n = 0 then results
+    else begin
+      let probe = Probe.local () in
+      let compiled = Array.make n Resolved in
+      let alphas = Array.make n 0.0 in
+      let periods = Array.make n 0.0 in
+      let alive = Array.make n 0 in
+      let nalive = ref 0 in
+      for i = 0 to n - 1 do
+        let dv = device i in
+        check_inputs ~alpha:dv.alpha ~period:dv.period dv.cycle;
+        alphas.(i) <- dv.alpha;
+        periods.(i) <- dv.period;
+        match (dv.model.Model.decay, dv.model.Model.stepper) with
+        | Some dc, _ ->
+            let starts, durations, currents = collect_intervals dv.cycle in
+            compiled.(i) <-
+              compile_channels dc ~period:dv.period ~starts ~durations
+                ~currents;
+            alive.(!nalive) <- i;
+            incr nalive;
+            Probe.bump_named probe "periodic/channel_devices" 1
+        | None, Some sp ->
+            let ops = sp.Model.fresh () in
+            let u = Array.make sp.Model.state_dim 0.0 in
+            ops.Model.start u;
+            let starts, durations, currents = collect_intervals dv.cycle in
+            compiled.(i) <-
+              Carried { ops; u; starts; durations; currents; clock = 0.0 };
+            alive.(!nalive) <- i;
+            incr nalive;
+            Probe.bump_named probe "periodic/carried_devices" 1
+        | None, None ->
+            let outcome, fatal_sigma =
+              reference_run ~max_cycles ~model:dv.model ~alpha:dv.alpha
+                ~period:dv.period dv.cycle
+            in
+            results.(i) <- { outcome; fatal_sigma };
+            Probe.bump_named probe "periodic/reference_devices" 1
+      done;
+      (* One sweep per cycle over the still-alive devices, compacting
+         the index array in place as devices die, so total work is
+         sum over devices of (cycles lived), not n * max_cycles. *)
+      let k = ref 0 in
+      while !nalive > 0 && !k < max_cycles do
+        let kept = ref 0 in
+        for a = 0 to !nalive - 1 do
+          let i = alive.(a) in
+          let fatal =
+            match compiled.(i) with
+            | Channels d -> step_channels d ~alpha:alphas.(i) ~k:!k
+            | Carried c ->
+                step_carried c ~alpha:alphas.(i) ~k:!k ~period:periods.(i)
+            | Resolved -> None (* never enters the alive set *)
+          in
+          match fatal with
+          | Some sg -> results.(i) <- { outcome = Dies !k; fatal_sigma = sg }
+          | None ->
+              alive.(!kept) <- i;
+              incr kept
+        done;
+        nalive := !kept;
+        incr k
+      done;
+      (* survivors keep their Censored initialization *)
+      results
+    end
+end
+
+let cycles_to_death ?max_cycles ~model ~alpha ~period cycle =
+  let r =
+    (Batch.run ?max_cycles ~n:1
+       ~device:(fun _ -> { model; alpha; period; cycle })
+       ()).(0)
+  in
+  match r.Batch.outcome with
+  | Dies 0 -> raise (Unsustainable r.Batch.fatal_sigma)
+  | outcome -> outcome
+
 let max_sustainable_cycles ?max_cycles ~model ~alpha cycle ~period ~target =
   match cycles_to_death ?max_cycles ~model ~alpha ~period cycle with
-  | n -> n >= target
-  | exception Unsustainable -> false
+  | outcome -> cycles outcome >= target
+  | exception Unsustainable _ -> false
 
 let min_period_for_cycles ?max_cycles ?(tolerance = 0.01) ~model ~alpha cycle
     ~target =
@@ -78,8 +358,8 @@ let interp_cycles ~model ~alpha cycle ~periods =
        (fun period ->
          let n =
            match cycles_to_death ~model ~alpha ~period cycle with
-           | n -> n
-           | exception Unsustainable -> 0
+           | outcome -> cycles outcome
+           | exception Unsustainable _ -> 0
          in
          (period, float_of_int n))
        periods)

@@ -42,10 +42,21 @@ let batch ~exponent ~reference_current =
           sigmas.(p) <- Kahan.Acc.sum acc
         done) }
 
+(* rate-dependence only, no memory: channel-free like the ideal model *)
+let decay ~exponent ~reference_current =
+  let k = reference_current ** (1.0 -. exponent) in
+  { Model.rates = [||];
+    weights = (fun ~current:_ ~duration:_ _ -> ());
+    charge =
+      (fun ~current ~duration ->
+        if current = 0.0 then 0.0
+        else k *. (current ** exponent) *. duration) }
+
 let model ?(exponent = 1.2) ?(reference_current = 100.0) () =
   check_params exponent reference_current;
   { Model.name = "peukert";
     sigma = (fun p ~at -> sigma ~exponent ~reference_current p ~at);
     incremental = Some (incremental ~exponent ~reference_current);
     stepper = None;
-    batch = Some (batch ~exponent ~reference_current) }
+    batch = Some (batch ~exponent ~reference_current);
+    decay = Some (decay ~exponent ~reference_current) }

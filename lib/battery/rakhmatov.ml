@@ -142,12 +142,37 @@ let batch ~terms ~beta =
           sigmas.(p) <- Kahan.Acc.sum acc
         done) }
 
+(* Channel view of the same series: the contribution
+     I (D + F(tail) - F(tail + D))
+   with F(t) = sum_m 2 e^{-lambda_m t} / lambda_m, lambda_m = beta^2 m^2,
+   regroups as
+     I D + sum_m (2 / lambda_m) I (1 - e^{-lambda_m D}) e^{-lambda_m tail}
+   — one decay channel per truncated series term, amplitudes depending
+   on (I, D) only.  Exactly the structure {!Periodic} telescopes across
+   repeated cycles. *)
+let decay ~terms ~beta =
+  let b2 = beta *. beta in
+  let rates =
+    Array.init terms (fun i ->
+        let m = float_of_int (i + 1) in
+        b2 *. m *. m)
+  in
+  { Model.rates;
+    weights =
+      (fun ~current ~duration buf ->
+        for t = 0 to terms - 1 do
+          buf.(t) <-
+            2.0 /. rates.(t) *. current *. (1.0 -. exp (-.rates.(t) *. duration))
+        done);
+    charge = (fun ~current ~duration -> current *. duration) }
+
 let model ?(terms = Series.default_terms) ?(beta = default_beta) () =
   { Model.name = "rakhmatov";
     sigma = (fun p ~at -> sigma ~terms ~beta p ~at);
     incremental = Some (incremental ~terms ~beta);
     stepper = None;
-    batch = Some (batch ~terms ~beta) }
+    batch = Some (batch ~terms ~beta);
+    decay = Some (decay ~terms ~beta) }
 
 let unavailable_charge ?terms ?beta p ~at =
   sigma ?terms ?beta p ~at -. Profile.total_charge (Profile.truncate p ~at)

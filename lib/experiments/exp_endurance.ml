@@ -39,8 +39,8 @@ let cycles cycle ~period =
     Periodic.cycles_to_death ~max_cycles:200 ~model ~alpha:cell.Cell.alpha
       ~period cycle
   with
-  | n -> n
-  | exception Periodic.Unsustainable -> 0
+  | outcome -> Periodic.cycles outcome
+  | exception Periodic.Unsustainable _ -> 0
 
 let run () =
   let named = profiles () in

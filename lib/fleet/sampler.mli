@@ -1,0 +1,33 @@
+(** Deterministic device sampling.
+
+    Device [i] of a fleet run is a pure function of the spec, the run
+    seed and [i]: each device draws from its own splitmix64 substream
+    ([Batsched_numeric.Splitmix.substream base i]), so the sample is
+    independent of which pool worker materializes it, of batching, and
+    of every other device — the construction that makes fleet results
+    bit-identical across pool sizes.
+
+    The draw order within a device's substream is fixed and part of the
+    format: model choice, model parameters (in the order the fields are
+    listed in {!Spec.model_spec}), alpha, state of health, cycle
+    (per-task columns or burst count then per-burst current and
+    duration), period factor.  Changing the order changes every sample
+    for a given seed, so treat it like a wire format. *)
+
+type device = {
+  index : int;
+  model_index : int;  (** index into the spec's [models] list *)
+  periodic : Batsched_battery.Periodic.device;
+      (** model, effective alpha (rated alpha times state of health),
+          period and cycle profile, ready for
+          {!Batsched_battery.Periodic.Batch.run} *)
+}
+
+val base : seed:int -> Batsched_numeric.Splitmix.t
+(** The run-level generator state all per-device substreams derive
+    from. *)
+
+val device : Spec.t -> base:Batsched_numeric.Splitmix.t -> int -> device
+(** [device spec ~base i] materializes device [i].  Pure: [base] is
+    not advanced, and repeated calls return identical samples.
+    @raise Invalid_argument on a negative index. *)

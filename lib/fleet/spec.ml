@@ -1,0 +1,251 @@
+open Batsched_obs
+
+type range = { lo : float; hi : float }
+
+type law = Uniform | Fastest | Slowest
+
+type model_spec =
+  | Ideal
+  | Peukert of { exponent : range; reference_current : range }
+  | Rakhmatov of { beta : range; terms : int }
+  | Kibam of { c : range; k_prime : range }
+  | Pde of { beta : range; nodes : int; dt : float }
+
+type weighted_model = {
+  label : string;
+  weight : float;
+  model : model_spec;
+}
+
+type cycle_spec =
+  | Graph of {
+      name : string;
+      graph : Batsched_taskgraph.Graph.t;
+      law : law;
+    }
+  | Bursts of { count : range; current : range; duration : range }
+
+type t = {
+  horizon : int;
+  alpha : range;
+  soh : range;
+  period_factor : range;
+  models : weighted_model list;
+  cycle : cycle_spec;
+}
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* A range is either a bare number (constant) or {"min": a, "max": b}. *)
+let range_of ~name j =
+  match j with
+  | Json.Num v -> { lo = v; hi = v }
+  | Json.Obj _ -> begin
+      match (Json.num_field "min" j, Json.num_field "max" j) with
+      | Some lo, Some hi ->
+          if hi < lo then fail "%s: max < min" name else { lo; hi }
+      | _ -> fail "%s: expected min and max" name
+    end
+  | _ -> fail "%s: expected a number or {min, max}" name
+
+let range_field ~name ?default j =
+  match (Json.field name j, default) with
+  | Some r, _ -> range_of ~name r
+  | None, Some d -> d
+  | None, None -> fail "missing required field %s" name
+
+let positive ~name r =
+  if r.lo <= 0.0 then fail "%s: must be positive" name else r
+
+let model_of_json j =
+  let label =
+    match Json.str_field "model" j with
+    | Some s -> s
+    | None -> fail "models[]: missing model name"
+  in
+  let weight =
+    match Json.num_field "weight" j with
+    | Some w when w > 0.0 -> w
+    | Some _ -> fail "%s: weight must be positive" label
+    | None -> 1.0
+  in
+  let model =
+    match label with
+    | "ideal" -> Ideal
+    | "peukert" ->
+        Peukert
+          { exponent =
+              positive ~name:"peukert.exponent"
+                (range_field ~name:"exponent"
+                   ~default:{ lo = 1.2; hi = 1.2 } j);
+            reference_current =
+              positive ~name:"peukert.reference_current"
+                (range_field ~name:"reference_current"
+                   ~default:{ lo = 100.0; hi = 100.0 } j) }
+    | "rakhmatov" ->
+        Rakhmatov
+          { beta =
+              positive ~name:"rakhmatov.beta"
+                (range_field ~name:"beta"
+                   ~default:
+                     { lo = Batsched_battery.Rakhmatov.default_beta;
+                       hi = Batsched_battery.Rakhmatov.default_beta }
+                   j);
+            terms =
+              (match Json.num_field "terms" j with
+              | Some t when t >= 1.0 -> int_of_float t
+              | Some _ -> fail "rakhmatov.terms: must be >= 1"
+              | None -> Batsched_numeric.Series.default_terms) }
+    | "kibam" ->
+        let sub name default =
+          positive ~name:("kibam." ^ name)
+            (range_field ~name ~default j)
+        in
+        let c = sub "c" { lo = 0.5; hi = 0.5 } in
+        if c.hi >= 1.0 then fail "kibam.c: must stay below 1";
+        Kibam { c; k_prime = sub "k_prime" { lo = 0.05; hi = 0.05 } }
+    | "pde" ->
+        Pde
+          { beta =
+              positive ~name:"pde.beta"
+                (range_field ~name:"beta"
+                   ~default:
+                     { lo = Batsched_battery.Rakhmatov.default_beta;
+                       hi = Batsched_battery.Rakhmatov.default_beta }
+                   j);
+            nodes =
+              (match Json.num_field "nodes" j with
+              | Some n when n >= 8.0 -> int_of_float n
+              | Some _ -> fail "pde.nodes: must be >= 8"
+              | None -> 16);
+            dt =
+              (match Json.num_field "dt" j with
+              | Some d when d > 0.0 -> d
+              | Some _ -> fail "pde.dt: must be positive"
+              | None -> 0.25) }
+    | other -> fail "unknown model %S" other
+  in
+  { label; weight; model }
+
+let cycle_of_json j =
+  match Json.str_field "kind" j with
+  | Some "graph" ->
+      let name =
+        match Json.str_field "graph" j with
+        | Some g -> g
+        | None -> fail "cycle: missing graph name"
+      in
+      let graph =
+        match name with
+        | "g2" -> Batsched_taskgraph.Instances.g2
+        | "g3" -> Batsched_taskgraph.Instances.g3
+        | other -> fail "cycle.graph: unknown instance %S" other
+      in
+      let law =
+        match Json.str_field "law" j with
+        | Some "uniform" | None -> Uniform
+        | Some "fastest" -> Fastest
+        | Some "slowest" -> Slowest
+        | Some other -> fail "cycle.law: unknown law %S" other
+      in
+      Graph { name; graph; law }
+  | Some "bursts" ->
+      let count =
+        positive ~name:"cycle.count"
+          (range_field ~name:"count" ~default:{ lo = 1.0; hi = 3.0 } j)
+      in
+      let current =
+        positive ~name:"cycle.current"
+          (range_field ~name:"current" ~default:{ lo = 100.0; hi = 800.0 } j)
+      in
+      let duration =
+        positive ~name:"cycle.duration"
+          (range_field ~name:"duration" ~default:{ lo = 1.0; hi = 20.0 } j)
+      in
+      Bursts { count; current; duration }
+  | Some other -> fail "cycle.kind: expected graph or bursts, got %S" other
+  | None -> fail "cycle: missing kind"
+
+let of_json j =
+  try
+    let horizon =
+      match Json.num_field "horizon" j with
+      | Some h when h >= 1.0 -> int_of_float h
+      | Some _ -> fail "horizon: must be >= 1"
+      | None -> 200
+    in
+    let alpha =
+      positive ~name:"alpha"
+        (range_field ~name:"alpha"
+           ~default:
+             { lo = Batsched_battery.Cell.itsy.Batsched_battery.Cell.alpha;
+               hi = Batsched_battery.Cell.itsy.Batsched_battery.Cell.alpha }
+           j)
+    in
+    let soh =
+      positive ~name:"soh"
+        (range_field ~name:"soh" ~default:{ lo = 1.0; hi = 1.0 } j)
+    in
+    let period_factor =
+      range_field ~name:"period_factor" ~default:{ lo = 1.0; hi = 2.0 } j
+    in
+    if period_factor.lo < 1.0 then
+      fail "period_factor: must be >= 1 (the cycle has to fit the period)";
+    let models =
+      match Json.field "models" j with
+      | Some (Json.Arr (_ :: _ as ms)) -> List.map model_of_json ms
+      | Some (Json.Arr []) -> fail "models: must not be empty"
+      | Some _ -> fail "models: expected an array"
+      | None -> fail "missing required field models"
+    in
+    let cycle =
+      match Json.field "cycle" j with
+      | Some c -> cycle_of_json c
+      | None -> fail "missing required field cycle"
+    in
+    Ok { horizon; alpha; soh; period_factor; models; cycle }
+  with Bad msg -> Error ("fleet spec: " ^ msg)
+
+let of_file path =
+  match Json.of_file path with
+  | j -> of_json j
+  | exception Json.Bad_json msg -> Error ("fleet spec: bad JSON: " ^ msg)
+  | exception Sys_error msg -> Error ("fleet spec: " ^ msg)
+
+let default =
+  { horizon = 200;
+    alpha = { lo = 30000.0; hi = 45000.0 };
+    soh = { lo = 0.8; hi = 1.0 };
+    period_factor = { lo = 1.2; hi = 2.5 };
+    models =
+      [ { label = "ideal"; weight = 0.5; model = Ideal };
+        { label = "peukert";
+          weight = 1.0;
+          model =
+            Peukert
+              { exponent = { lo = 1.05; hi = 1.3 };
+                reference_current = { lo = 100.0; hi = 100.0 } } };
+        { label = "rakhmatov";
+          weight = 2.0;
+          model =
+            Rakhmatov
+              { beta = { lo = 0.2; hi = 0.6 };
+                terms = Batsched_numeric.Series.default_terms } };
+        { label = "kibam";
+          weight = 1.0;
+          model =
+            Kibam
+              { c = { lo = 0.3; hi = 0.7 };
+                k_prime = { lo = 0.02; hi = 0.1 } } } ];
+    (* sized so lifetimes spread across the default horizon: a mean
+       draw (~1.5 bursts of ~150 mA for ~3 min) costs ~675 mA*min per
+       cycle against alpha 30k-45k mA*min, i.e. dozens of cycles, while
+       the lightest draws outlive the horizon and exercise censoring *)
+    cycle =
+      Bursts
+        { count = { lo = 1.0; hi = 2.0 };
+          current = { lo = 50.0; hi = 250.0 };
+          duration = { lo = 1.0; hi = 5.0 } }
+  }

@@ -1,21 +1,16 @@
-type t = { mutable state : int64 }
+(* A thin layer over the shared SplitMix64 core: [bits64] is
+   [Splitmix.next] verbatim, so every committed stream (search walks,
+   generated graphs) is unchanged by the extraction. *)
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+type t = Splitmix.t
 
-let mix64 z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let create = Splitmix.create
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let bits64 = Splitmix.next
 
-let bits64 g =
-  g.state <- Int64.add g.state golden_gamma;
-  mix64 g.state
+let split = Splitmix.split
 
-let split g = { state = bits64 g }
-
-let copy g = { state = g.state }
+let copy = Splitmix.copy
 
 let int g n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";

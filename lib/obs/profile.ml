@@ -210,20 +210,11 @@ let targets runs =
 
 (* --- bootstrap dominance --- *)
 
-(* fixed-seed splitmix64: the verdict must be a pure function of the
-   ledger, so reruns of [basched profile] agree bit-for-bit *)
-let splitmix64 state =
-  let z = Int64.add !state 0x9E3779B97F4A7C15L in
-  state := z;
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-      0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-      0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let rand_below state n =
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (splitmix64 state) 1)
-                  (Int64.of_int n))
+(* fixed-seed splitmix64 (the shared [Batsched_numeric.Splitmix] core,
+   with the raw unpremixed seeding this bootstrap has always used): the
+   verdict must be a pure function of the ledger, so reruns of
+   [basched profile] agree bit-for-bit *)
+let rand_below = Batsched_numeric.Splitmix.rand_below
 
 (* anytime score of a cohort: mean median-quality over the shared grid
    — lower is better, and a cohort that is ahead everywhere has the
@@ -245,7 +236,7 @@ let resample state arr =
 
 let dominance ?(resamples = 400) ?(seed = 0x5eed) a b =
   let xs = grid (a @ b) in
-  let state = ref (Int64.of_int seed) in
+  let state = Batsched_numeric.Splitmix.of_raw (Int64.of_int seed) in
   let a_arr = Array.of_list a and b_arr = Array.of_list b in
   let wins = ref 0 in
   for _ = 1 to resamples do

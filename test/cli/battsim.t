@@ -33,3 +33,32 @@ counted model call under one top-level span:
   wrote trace to t.json
   $ grep -c '"name":"sigma"' t.json
   1
+
+Monte Carlo fleet endurance over the built-in population: a fixed
+seed pins every draw, so the whole report is reproducible and the
+checksum is bit-identical at any pool size:
+
+  $ battsim fleet --devices 300 --seed 11
+  fleet: 300 devices, horizon 200 cycles (seed 11, pool 1)
+    deaths 260, censored 40, mean lifetime 100.7 cycles
+    quantiles: p1=25 p5=28 p50=86 p90=200 p99=200
+    model ideal            35 devices,      7 censored, mean 114.5
+    model peukert          55 devices,      5 censored, mean 98.1
+    model rakhmatov       145 devices,     22 censored, mean 101.1
+    model kibam            65 devices,      6 censored, mean 94.7
+    checksum sv1-7ee5e6cdbe497e5b
+
+  $ battsim fleet --devices 300 --seed 11 --pool 2 | tail -1
+    checksum sv1-7ee5e6cdbe497e5b
+
+The JSON report carries the same checksum:
+
+  $ battsim fleet --devices 300 --seed 11 --json - | tail -1 | grep -c 'sv1-7ee5e6cdbe497e5b'
+  1
+
+A bad spec is rejected with a pointed message:
+
+  $ echo '{"models": []}' > bad.json
+  $ battsim fleet --spec bad.json
+  battsim: fleet spec: models: must not be empty
+  [124]

@@ -1,0 +1,327 @@
+(* Tests for the fleet endurance engine: spec parsing, sampler purity,
+   survival accounting, and the bit-identical-across-pool-sizes
+   guarantee the sharded engine rests on. *)
+
+open Batsched_fleet
+
+let spec_json =
+  {|{
+  "horizon": 30,
+  "alpha": {"min": 20000, "max": 40000},
+  "soh": {"min": 0.8, "max": 1.0},
+  "period_factor": {"min": 1.2, "max": 2.0},
+  "models": [
+    {"model": "ideal", "weight": 0.5},
+    {"model": "peukert", "exponent": {"min": 1.05, "max": 1.3}},
+    {"model": "rakhmatov", "weight": 2.0, "beta": {"min": 0.2, "max": 0.6}},
+    {"model": "kibam", "c": {"min": 0.3, "max": 0.7},
+     "k_prime": {"min": 0.02, "max": 0.1}},
+    {"model": "pde", "weight": 0.4, "beta": {"min": 0.2, "max": 0.5},
+     "nodes": 8, "dt": 1.0}
+  ],
+  "cycle": {"kind": "bursts", "count": {"min": 1, "max": 4},
+            "current": {"min": 200, "max": 900},
+            "duration": {"min": 2, "max": 15}}
+}|}
+
+let parse_spec () =
+  match Spec.of_json (Batsched_obs.Json.parse spec_json) with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "spec should parse: %s" msg
+
+(* --- Spec --- *)
+
+let test_spec_parses () =
+  let s = parse_spec () in
+  Alcotest.(check int) "horizon" 30 s.Spec.horizon;
+  Alcotest.(check int) "models" 5 (List.length s.Spec.models);
+  Alcotest.(check (float 1e-9)) "alpha lo" 20000.0 s.Spec.alpha.Spec.lo;
+  let labels = List.map (fun m -> m.Spec.label) s.Spec.models in
+  Alcotest.(check (list string)) "labels"
+    [ "ideal"; "peukert"; "rakhmatov"; "kibam"; "pde" ]
+    labels;
+  match s.Spec.cycle with
+  | Spec.Bursts { count; _ } ->
+      Alcotest.(check (float 1e-9)) "count hi" 4.0 count.Spec.hi
+  | Spec.Graph _ -> Alcotest.fail "expected a bursts cycle"
+
+let test_spec_graph_cycle () =
+  let j =
+    Batsched_obs.Json.parse
+      {|{"models": [{"model": "ideal"}],
+         "cycle": {"kind": "graph", "graph": "g2", "law": "fastest"}}|}
+  in
+  match Spec.of_json j with
+  | Error msg -> Alcotest.failf "should parse: %s" msg
+  | Ok s -> begin
+      Alcotest.(check int) "default horizon" 200 s.Spec.horizon;
+      match s.Spec.cycle with
+      | Spec.Graph { name; law = Spec.Fastest; _ } ->
+          Alcotest.(check string) "graph" "g2" name
+      | _ -> Alcotest.fail "expected g2/fastest"
+    end
+
+let test_spec_rejects () =
+  let reject label json =
+    match Spec.of_json (Batsched_obs.Json.parse json) with
+    | Ok _ -> Alcotest.failf "%s: should be rejected" label
+    | Error msg ->
+        Alcotest.(check bool)
+          (label ^ ": message names the spec") true
+          (String.length msg > 0)
+  in
+  reject "no models" {|{"cycle": {"kind": "bursts"}, "models": []}|};
+  reject "unknown model"
+    {|{"cycle": {"kind": "bursts"}, "models": [{"model": "magic"}]}|};
+  reject "inverted range"
+    {|{"alpha": {"min": 10, "max": 5}, "cycle": {"kind": "bursts"},
+       "models": [{"model": "ideal"}]}|};
+  reject "period factor below 1"
+    {|{"period_factor": 0.5, "cycle": {"kind": "bursts"},
+       "models": [{"model": "ideal"}]}|};
+  reject "unknown graph"
+    {|{"cycle": {"kind": "graph", "graph": "g9"},
+       "models": [{"model": "ideal"}]}|}
+
+(* --- Sampler --- *)
+
+let profiles_equal a b =
+  let la = Batsched_battery.Profile.intervals a in
+  let lb = Batsched_battery.Profile.intervals b in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun (x : Batsched_battery.Profile.interval)
+            (y : Batsched_battery.Profile.interval) ->
+         x.Batsched_battery.Profile.start = y.Batsched_battery.Profile.start
+         && x.Batsched_battery.Profile.duration
+            = y.Batsched_battery.Profile.duration
+         && x.Batsched_battery.Profile.current
+            = y.Batsched_battery.Profile.current)
+       la lb
+
+let test_sampler_pure () =
+  let spec = parse_spec () in
+  let base = Sampler.base ~seed:7 in
+  for i = 0 to 49 do
+    let a = Sampler.device spec ~base i in
+    let b = Sampler.device spec ~base i in
+    Alcotest.(check int)
+      (Printf.sprintf "device %d model" i)
+      a.Sampler.model_index b.Sampler.model_index;
+    Alcotest.(check bool)
+      (Printf.sprintf "device %d alpha bit-equal" i)
+      true
+      (Int64.equal
+         (Int64.bits_of_float a.Sampler.periodic.Batsched_battery.Periodic.alpha)
+         (Int64.bits_of_float b.Sampler.periodic.Batsched_battery.Periodic.alpha));
+    Alcotest.(check bool)
+      (Printf.sprintf "device %d period bit-equal" i)
+      true
+      (a.Sampler.periodic.Batsched_battery.Periodic.period
+      = b.Sampler.periodic.Batsched_battery.Periodic.period);
+    Alcotest.(check bool)
+      (Printf.sprintf "device %d cycle equal" i)
+      true
+      (profiles_equal a.Sampler.periodic.Batsched_battery.Periodic.cycle
+         b.Sampler.periodic.Batsched_battery.Periodic.cycle)
+  done
+
+let test_sampler_covers_models () =
+  (* with 400 draws every listed model should appear — a smoke test
+     that the weighted choice is not stuck on one branch *)
+  let spec = parse_spec () in
+  let base = Sampler.base ~seed:11 in
+  let seen = Array.make (List.length spec.Spec.models) 0 in
+  for i = 0 to 399 do
+    let d = Sampler.device spec ~base i in
+    seen.(d.Sampler.model_index) <- seen.(d.Sampler.model_index) + 1
+  done;
+  Array.iteri
+    (fun m c ->
+      Alcotest.(check bool) (Printf.sprintf "model %d drawn" m) true (c > 0))
+    seen
+
+(* --- Survival --- *)
+
+let test_survival_quantiles () =
+  let t = Survival.create ~horizon:10 ~models:[| "m" |] in
+  for _ = 1 to 5 do
+    Survival.observe t ~model_index:0 (Batsched_battery.Periodic.Dies 2)
+  done;
+  for _ = 1 to 4 do
+    Survival.observe t ~model_index:0 (Batsched_battery.Periodic.Dies 5)
+  done;
+  Survival.observe t ~model_index:0 (Batsched_battery.Periodic.Censored 10);
+  Alcotest.(check int) "n" 10 (Survival.n t);
+  Alcotest.(check int) "censored" 1 (Survival.censored t);
+  Alcotest.(check int) "p50" 2 (Survival.quantile t 50.0);
+  Alcotest.(check int) "p90" 5 (Survival.quantile t 90.0);
+  Alcotest.(check int) "p99 hits the censored mass" 10
+    (Survival.quantile t 99.0);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "staircase"
+    [ (0, 1.0); (3, 0.5); (6, 0.1) ]
+    (Survival.survival t)
+
+let test_survival_merge_partition_invariant () =
+  (* folding the same outcomes in any partition and order gives the
+     same counters, hence the same checksum *)
+  let outcomes =
+    Array.init 200 (fun i ->
+        if i mod 17 = 0 then Batsched_battery.Periodic.Censored 30
+        else Batsched_battery.Periodic.Dies (i mod 29))
+  in
+  let direct = Survival.create ~horizon:30 ~models:[| "a"; "b" |] in
+  Array.iteri
+    (fun i o -> Survival.observe direct ~model_index:(i mod 2) o)
+    outcomes;
+  let sharded = Survival.create ~horizon:30 ~models:[| "a"; "b" |] in
+  let shard_of = [| [] ; []; [] |] in
+  Array.iteri
+    (fun i o -> shard_of.(i mod 3) <- (i, o) :: shard_of.(i mod 3))
+    outcomes;
+  Array.iter
+    (fun items ->
+      let acc = Survival.create ~horizon:30 ~models:[| "a"; "b" |] in
+      List.iter
+        (fun (i, o) -> Survival.observe acc ~model_index:(i mod 2) o)
+        items;
+      Survival.merge ~into:sharded acc)
+    shard_of;
+  Alcotest.(check string) "checksums agree" (Survival.checksum direct)
+    (Survival.checksum sharded);
+  let render t =
+    let b = Buffer.create 256 in
+    Survival.to_json t b;
+    Buffer.contents b
+  in
+  Alcotest.(check string) "json agrees" (render direct) (render sharded)
+
+let test_survival_rejects_foreign () =
+  let t = Survival.create ~horizon:10 ~models:[| "m" |] in
+  Alcotest.(check bool) "foreign horizon" true
+    (match
+       Survival.observe t ~model_index:0 (Batsched_battery.Periodic.Censored 9)
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad model" true
+    (match
+       Survival.observe t ~model_index:3 (Batsched_battery.Periodic.Dies 1)
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  let other = Survival.create ~horizon:11 ~models:[| "m" |] in
+  Alcotest.(check bool) "merge horizon mismatch" true
+    (match Survival.merge ~into:t other with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Engine --- *)
+
+let run_fleet ~pool_size ~devices ~seed spec =
+  Batsched_numeric.Pool.with_pool pool_size (fun pool ->
+      Engine.run ~pool ~spec ~devices ~seed ())
+
+let test_engine_pool_size_invariant () =
+  let spec = parse_spec () in
+  let reference = run_fleet ~pool_size:1 ~devices:240 ~seed:42 spec in
+  let checksum = Survival.checksum reference in
+  Alcotest.(check int) "all devices land" 240 (Survival.n reference);
+  List.iter
+    (fun size ->
+      let r = run_fleet ~pool_size:size ~devices:240 ~seed:42 spec in
+      Alcotest.(check string)
+        (Printf.sprintf "pool %d bit-identical" size)
+        checksum (Survival.checksum r);
+      let render t =
+        let b = Buffer.create 256 in
+        Survival.to_json t b;
+        Buffer.contents b
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "pool %d json identical" size)
+        (render reference) (render r))
+    [ 2; 4 ]
+
+let test_engine_block_size_invariant () =
+  (* the block size is a batching knob, not a semantic one *)
+  let spec = parse_spec () in
+  let a = Engine.run ~block:7 ~spec ~devices:100 ~seed:3 () in
+  let b = Engine.run ~block:256 ~spec ~devices:100 ~seed:3 () in
+  Alcotest.(check string) "block-size independent" (Survival.checksum a)
+    (Survival.checksum b)
+
+let test_engine_seed_sensitivity () =
+  let spec = parse_spec () in
+  let a = Engine.run ~spec ~devices:100 ~seed:1 () in
+  let b = Engine.run ~spec ~devices:100 ~seed:2 () in
+  Alcotest.(check bool) "different seeds differ" true
+    (Survival.checksum a <> Survival.checksum b)
+
+let test_engine_events_and_counters () =
+  let spec = parse_spec () in
+  let ev = Batsched_obs.Events.create_memory () in
+  let c0 = Batsched_numeric.Probe.totals () in
+  let r = Engine.run ~events:ev ~block:32 ~spec ~devices:64 ~seed:5 () in
+  let c1 = Batsched_numeric.Probe.totals () in
+  let named c name =
+    match List.assoc_opt name (Batsched_numeric.Probe.named_counts c) with
+    | Some v -> v
+    | None -> 0
+  in
+  Alcotest.(check int) "device counter" 64
+    (named c1 "fleet/devices" - named c0 "fleet/devices");
+  let records = Batsched_obs.Events.snapshot ev in
+  let blocks =
+    List.filter (fun r -> r.Batsched_obs.Events.kind = "fleet-block") records
+  in
+  Alcotest.(check int) "one event per block" 2 (List.length blocks);
+  match
+    List.find_opt
+      (fun r -> r.Batsched_obs.Events.kind = "fleet-done")
+      records
+  with
+  | None -> Alcotest.fail "missing fleet-done event"
+  | Some d -> begin
+      match
+        List.assoc_opt "checksum" d.Batsched_obs.Events.fields
+      with
+      | Some (Batsched_obs.Events.S s) ->
+          Alcotest.(check string) "event checksum matches result"
+            (Survival.checksum r) s
+      | _ -> Alcotest.fail "fleet-done lacks a checksum field"
+    end
+
+let test_engine_empty_fleet () =
+  let spec = parse_spec () in
+  let r = Engine.run ~spec ~devices:0 ~seed:0 () in
+  Alcotest.(check int) "no devices" 0 (Survival.n r)
+
+let () =
+  Alcotest.run "fleet"
+    [ ( "spec",
+        [ Alcotest.test_case "parses" `Quick test_spec_parses;
+          Alcotest.test_case "graph cycle" `Quick test_spec_graph_cycle;
+          Alcotest.test_case "rejects bad input" `Quick test_spec_rejects ] );
+      ( "sampler",
+        [ Alcotest.test_case "pure per index" `Quick test_sampler_pure;
+          Alcotest.test_case "covers all models" `Quick
+            test_sampler_covers_models ] );
+      ( "survival",
+        [ Alcotest.test_case "exact quantiles" `Quick test_survival_quantiles;
+          Alcotest.test_case "partition-invariant merge" `Quick
+            test_survival_merge_partition_invariant;
+          Alcotest.test_case "rejects foreign folds" `Quick
+            test_survival_rejects_foreign ] );
+      ( "engine",
+        [ Alcotest.test_case "bit-identical across pool sizes" `Quick
+            test_engine_pool_size_invariant;
+          Alcotest.test_case "block-size invariant" `Quick
+            test_engine_block_size_invariant;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_engine_seed_sensitivity;
+          Alcotest.test_case "events and counters" `Quick
+            test_engine_events_and_counters;
+          Alcotest.test_case "empty fleet" `Quick test_engine_empty_fleet ] )
+    ]
